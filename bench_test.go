@@ -1,0 +1,249 @@
+// Package repro holds the top-level benchmark harness: one testing.B
+// benchmark per experiment in DESIGN.md's index (E1–E10). Each
+// benchmark re-runs the full experiment per iteration and reports its
+// headline quantity as a custom metric, so `go test -bench=.` both
+// times the reproduction pipeline and surfaces the reproduced numbers.
+// The full tables are printed by `go run ./cmd/experiments`.
+package repro
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchConfig keeps a single experiment iteration around a second.
+func benchConfig() experiments.Config {
+	return experiments.Config{Symbols: 10000, CodedSymbols: 120, Quanta: 100000, Seed: 1}
+}
+
+// metric extracts a named column of a row as a float.
+func metric(b *testing.B, t experiments.Table, row int, col string) float64 {
+	b.Helper()
+	for i, h := range t.Header {
+		if h == col {
+			v, err := strconv.ParseFloat(t.Rows[row][i], 64)
+			if err != nil {
+				b.Fatalf("%s row %d col %q: %v", t.ID, row, col, err)
+			}
+			return v
+		}
+	}
+	b.Fatalf("%s: column %q not found", t.ID, col)
+	return 0
+}
+
+func BenchmarkE1UpperBound(b *testing.B) {
+	var last experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E1UpperBound(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(metric(b, last, len(last.Rows)-1, "ratio"), "MI/bound")
+}
+
+func BenchmarkE2FeedbackARQ(b *testing.B) {
+	var last experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E2FeedbackARQ(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	// Row with N=4, Pd=0.25.
+	b.ReportMetric(metric(b, last, 7, "measured(bits/use)"), "bits/use")
+	b.ReportMetric(metric(b, last, 7, "C=N(1-Pd)"), "bound")
+}
+
+func BenchmarkE3CounterProtocol(b *testing.B) {
+	var last experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E3CounterProtocol(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(metric(b, last, 5, "meas/use"), "bits/use")
+	b.ReportMetric(metric(b, last, 5, "C_perUse"), "bound")
+}
+
+func BenchmarkE4Convergence(b *testing.B) {
+	var last experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E4Convergence(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(metric(b, last, len(last.Rows)-1, "ratio(Pd=0.1)"), "ratio@N16")
+}
+
+func BenchmarkE5BlahutArimoto(b *testing.B) {
+	var last experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E5BlahutArimoto(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(metric(b, last, len(last.Rows)-1, "C_conv(BA)"), "bits")
+}
+
+func BenchmarkE6NoSyncCoding(b *testing.B) {
+	var last experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E6NoSyncCoding(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(metric(b, last, 0, "rate(info bits/ch.bit)"), "wm-rate")
+	b.ReportMetric(metric(b, last, 1, "rate(info bits/ch.bit)"), "conv-rate")
+}
+
+func BenchmarkE7CommonEvents(b *testing.B) {
+	var last experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E7CommonEvents(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(metric(b, last, 2, "ratio"), "event/feedback")
+}
+
+func BenchmarkE8Scheduler(b *testing.B) {
+	var last experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E8Scheduler(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	row := -1
+	for r, cells := range last.Rows {
+		if cells[0] == "random" {
+			row = r
+			break
+		}
+	}
+	if row == -1 {
+		b.Fatal("no random-policy row in E8")
+	}
+	b.ReportMetric(metric(b, last, row, "C_corrected"), "random-sched-C")
+}
+
+func BenchmarkE9MLS(b *testing.B) {
+	var last experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E9MLS(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(metric(b, last, 1, "leak(bits/use)"), "bits/use")
+}
+
+func BenchmarkE10Baselines(b *testing.B) {
+	var last experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E10Baselines(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(metric(b, last, 0, "C_corrected"), "stc-corrected")
+}
+
+func BenchmarkE11DeletionRates(b *testing.B) {
+	var last experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E11DeletionRates(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(metric(b, last, 1, "I_n/n (n=10)"), "rate@pd0.1")
+}
+
+func BenchmarkE12TimingChannel(b *testing.B) {
+	var last experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E12TimingChannel(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(metric(b, last, 0, "C_sync(b/time)"), "clean-sync-C")
+	b.ReportMetric(metric(b, last, len(last.Rows)-1, "C_corrected"), "miss0.3-corrected")
+}
+
+func BenchmarkAblationA1DriftWindow(b *testing.B) {
+	cfg := benchConfig()
+	cfg.CodedSymbols = 60
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.A1DriftWindow(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationA2OuterRedundancy(b *testing.B) {
+	cfg := benchConfig()
+	cfg.CodedSymbols = 90
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.A2OuterRedundancy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationA3SparseLength(b *testing.B) {
+	cfg := benchConfig()
+	cfg.CodedSymbols = 60
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.A3SparseLength(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationA4Burstiness(b *testing.B) {
+	var last experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.A4Burstiness(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(metric(b, last, 0, "meas(bits/use)"), "bits/use")
+	b.ReportMetric(metric(b, last, 0, "C_perUse(stat)"), "bound")
+}
+
+func BenchmarkAblationA5FeedbackDelay(b *testing.B) {
+	var last experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.A5FeedbackDelay(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(metric(b, last, 2, "measured(bits/use)"), "delay2-rate")
+}

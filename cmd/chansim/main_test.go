@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with os.Stdout redirected and returns what it wrote.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	if cerr := w.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), runErr
+}
+
+func TestRunProtocols(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{
+			name: "arq",
+			args: []string{"-proto", "arq", "-n", "4", "-pd", "0.25", "-symbols", "2000"},
+			want: "Theorem 1/4 upper:   3.0000",
+		},
+		{
+			name: "counter",
+			args: []string{"-proto", "counter", "-n", "4", "-pd", "0.2", "-pi", "0.1", "-symbols", "2000"},
+			want: "Theorem 5 lower",
+		},
+		{
+			name: "syncvar",
+			args: []string{"-proto", "syncvar", "-n", "4", "-psender", "0.5", "-symbols", "2000"},
+			want: "slot errors:         0",
+		},
+		{
+			name: "event",
+			args: []string{"-proto", "event", "-n", "4", "-miss", "0.2", "-symbols", "2000"},
+			want: "protocol:            event",
+		},
+		{
+			name: "naive",
+			args: []string{"-proto", "naive", "-n", "4", "-pd", "0.05", "-pi", "0.05", "-symbols", "2000"},
+			want: "protocol:            naive",
+		},
+		{
+			name: "delayed",
+			args: []string{"-proto", "delayed", "-n", "4", "-pd", "0.2", "-delay", "2", "-symbols", "2000"},
+			want: "protocol:            delayed",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			out, err := capture(t, func() error { return run(tt.args) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(out, tt.want) {
+				t.Fatalf("output missing %q:\n%s", tt.want, out)
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-proto", "bogus"},
+		{"-proto", "arq", "-pd", "1.5"},
+		{"-proto", "counter", "-n", "0"},
+		{"-proto", "syncvar", "-psender", "0"},
+		{"-proto", "event", "-miss", "-0.1"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	args := []string{"-proto", "counter", "-n", "2", "-pd", "0.1", "-pi", "0.1", "-symbols", "1000", "-seed", "9"}
+	a, err := capture(t, func() error { return run(args) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := capture(t, func() error { return run(args) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same seed produced different output")
+	}
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with os.Stdout redirected and returns what it wrote.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	if cerr := w.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), runErr
+}
+
+func TestRunSinglePoint(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-n", "4", "-pd", "0.2", "-pi", "0.1"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "3.2000") {
+		t.Fatalf("output missing upper bound 3.2000:\n%s", out)
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-n", "2", "-sweep-pd", "0,0.1,0.2", "-sweep-pi", "0,0.1"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(out, "\n")
+	if lines != 7 { // header + 6 combinations
+		t.Fatalf("sweep produced %d lines, want 7:\n%s", lines, out)
+	}
+}
+
+func TestRunDegrade(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-sync-capacity", "100", "-pd", "0.25"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "75") {
+		t.Fatalf("degraded capacity missing from output:\n%s", out)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-n", "4", "-pd", "0.2", "-format", "csv"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "n,pd,pi,c_upper") {
+		t.Fatalf("missing CSV header:\n%s", out)
+	}
+	if !strings.Contains(out, "4,0.2,0,3.2") {
+		t.Fatalf("missing CSV row:\n%s", out)
+	}
+}
+
+func TestRunBadFormat(t *testing.T) {
+	if _, err := capture(t, func() error { return run([]string{"-format", "xml"}) }); err == nil {
+		t.Fatal("expected format error")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := capture(t, func() error { return run([]string{"-n", "0"}) }); err == nil {
+		t.Error("expected error for invalid width")
+	}
+	if _, err := capture(t, func() error { return run([]string{"-sweep-pd", "abc"}) }); err == nil {
+		t.Error("expected error for malformed sweep")
+	}
+	if _, err := capture(t, func() error { return run([]string{"-sync-capacity", "1", "-pd", "2"}) }); err == nil {
+		t.Error("expected error for invalid pd")
+	}
+	if _, err := capture(t, func() error { return run([]string{"-bogus"}) }); err == nil {
+		t.Error("expected flag parse error")
+	}
+}
+
+func TestParseSweep(t *testing.T) {
+	vals, err := parseSweep(" 0.1 , 0.2 ", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || vals[0] != 0.1 || vals[1] != 0.2 {
+		t.Fatalf("parseSweep = %v", vals)
+	}
+	vals, err = parseSweep("", 0.7)
+	if err != nil || len(vals) != 1 || vals[0] != 0.7 {
+		t.Fatalf("fallback parseSweep = %v, %v", vals, err)
+	}
+}

@@ -1,0 +1,71 @@
+// Command experiments regenerates every table in EXPERIMENTS.md: one
+// experiment per paper artifact (Theorems 1–5, equations 6–7, Figure 4,
+// Figure 5, Sections 3.1, 4.1 and 4.4, and the related-work baselines).
+//
+// Usage:
+//
+//	experiments [-only E3] [-seed 1] [-symbols 20000] [-coded 200] [-quanta 200000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		only      = fs.String("only", "", "run a single experiment (E1..E11, A1..A3)")
+		seed      = fs.Uint64("seed", 1, "random seed")
+		symbols   = fs.Int("symbols", 20000, "message length for protocol simulations")
+		coded     = fs.Int("coded", 200, "message length for coding experiments")
+		quanta    = fs.Int("quanta", 200000, "scheduler simulation quanta")
+		ablations = fs.Bool("ablations", false, "also run the ablation studies A1..A3")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.Config{
+		Symbols:      *symbols,
+		CodedSymbols: *coded,
+		Quanta:       *quanta,
+		Seed:         *seed,
+	}
+	tables, err := experiments.All(cfg)
+	if err != nil {
+		return err
+	}
+	wantAblations := *ablations || strings.HasPrefix(*only, "A")
+	if wantAblations {
+		abl, err := experiments.Ablations(cfg)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, abl...)
+	}
+	printed := 0
+	for _, t := range tables {
+		if *only != "" && t.ID != *only {
+			continue
+		}
+		if err := t.Format(os.Stdout); err != nil {
+			return err
+		}
+		printed++
+	}
+	if printed == 0 {
+		return fmt.Errorf("no experiment matches %q (valid: E1..E11, A1..A3)", *only)
+	}
+	return nil
+}

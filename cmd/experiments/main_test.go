@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with os.Stdout redirected and returns what it wrote.
+// The pipe is drained concurrently so large tables cannot block the
+// writer.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string, 1)
+	go func() {
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- sb.String()
+	}()
+	runErr := fn()
+	if cerr := w.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	os.Stdout = old
+	return <-done, runErr
+}
+
+// fastArgs shrinks the workloads for test speed.
+func fastArgs(extra ...string) []string {
+	args := []string{"-symbols", "3000", "-coded", "60", "-quanta", "20000"}
+	return append(args, extra...)
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	out, err := capture(t, func() error { return run(fastArgs("-only", "E4")) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "E4 — Equations 6-7") {
+		t.Fatalf("missing E4 table:\n%s", out)
+	}
+	if strings.Contains(out, "E1 —") {
+		t.Fatal("-only leaked other experiments")
+	}
+}
+
+func TestRunAllExperiments(t *testing.T) {
+	out, err := capture(t, func() error { return run(fastArgs()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"E1 —", "E5 —", "E10 —", "E11 —"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("missing %q in full run", id)
+		}
+	}
+	if strings.Contains(out, "A1 —") {
+		t.Error("ablations printed without -ablations")
+	}
+}
+
+func TestRunAblationOnly(t *testing.T) {
+	out, err := capture(t, func() error { return run(fastArgs("-only", "A3")) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "A3 — Ablation") {
+		t.Fatalf("missing A3 table:\n%s", out)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := capture(t, func() error { return run(fastArgs("-only", "E99")) }); err == nil {
+		t.Fatal("expected error for unknown experiment id")
+	}
+}
+
+func TestRunFlagError(t *testing.T) {
+	if _, err := capture(t, func() error { return run([]string{"-garbage"}) }); err == nil {
+		t.Fatal("expected flag parse error")
+	}
+}

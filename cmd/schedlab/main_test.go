@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with os.Stdout redirected and returns what it wrote.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	if cerr := w.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), runErr
+}
+
+func TestRunPolicies(t *testing.T) {
+	for _, policy := range []string{"roundrobin", "random", "lottery", "fuzzy"} {
+		t.Run(policy, func(t *testing.T) {
+			out, err := capture(t, func() error {
+				return run([]string{"-policy", policy, "-quanta", "20000"})
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(out, "corrected C(1-Pd)") {
+				t.Fatalf("missing corrected capacity line:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestRunRoundRobinIsClean(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-policy", "roundrobin", "-quanta", "20000"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "induced Pd, Pi:     0.0000, 0.0000") {
+		t.Fatalf("round-robin should induce zero rates:\n%s", out)
+	}
+}
+
+func TestRunSession(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-policy", "random", "-quanta", "400000", "-session"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "session rate:") {
+		t.Fatalf("missing session output:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-policy", "bogus"},
+		{"-policy", "random", "-quanta", "0"},
+		{"-policy", "lottery", "-sender-tickets", "0"},
+		{"-policy", "fuzzy", "-fuzz", "2"},
+		{"-nope"},
+	}
+	for _, args := range cases {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// No-synchronization example (paper Section 4.1): reliable covert
+// communication over a deletion–insertion channel with *no* feedback
+// and no common events, using a Davey–MacKay watermark code with a
+// Reed–Solomon outer code. The achieved rate is well below the
+// with-feedback bounds — exactly the paper's conclusion that
+// non-synchronized communication is possible but "not as effective as
+// the synchronized ones and requires complicated coding schemes."
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/channel"
+	"repro/internal/coding/gf"
+	"repro/internal/coding/rs"
+	"repro/internal/coding/watermark"
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		pd, pi = 0.01, 0.01
+		blocks = 40 // RS(15,11) blocks over GF(16)
+	)
+
+	wc, err := watermark.New(watermark.Params{
+		ChunkBits: 4,
+		SparseLen: 8,
+		Pd:        pd,
+		Pi:        pi,
+		MaxDrift:  32,
+		Seed:      1234, // the shared watermark secret
+	})
+	if err != nil {
+		return err
+	}
+	field, err := gf.Default(4)
+	if err != nil {
+		return err
+	}
+	outer, err := rs.New(field, 15, 11)
+	if err != nil {
+		return err
+	}
+
+	// Build the payload and the concatenated code stream.
+	src := rng.New(5)
+	var payload, stream []uint32
+	for b := 0; b < blocks; b++ {
+		msg := make([]uint32, 11)
+		for i := range msg {
+			msg[i] = uint32(src.Intn(16))
+		}
+		cw, err := outer.Encode(msg)
+		if err != nil {
+			return err
+		}
+		payload = append(payload, msg...)
+		stream = append(stream, cw...)
+	}
+	tx, err := wc.Encode(stream)
+	if err != nil {
+		return err
+	}
+
+	// The channel: Definition 1 at bit level, no synchronization
+	// mechanism of any kind.
+	ch, err := channel.NewBinaryDI(pd, pi, 0, rng.New(77))
+	if err != nil {
+		return err
+	}
+	recv, err := ch.Transmit(tx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sent %d bits, received %d bits (drift %+d)\n", len(tx), len(recv), len(recv)-len(tx))
+
+	// Inner decode: forward-backward over the drift HMM.
+	dec, err := wc.Decode(recv, len(stream))
+	if err != nil {
+		return err
+	}
+	innerErrs := 0
+	for i, v := range dec.Symbols {
+		if v != stream[i] {
+			innerErrs++
+		}
+	}
+	fmt.Printf("inner symbol errors:  %d/%d (%.2f%%)\n",
+		innerErrs, len(stream), 100*float64(innerErrs)/float64(len(stream)))
+
+	// Outer decode: RS cleans up the residue.
+	outerErrs := 0
+	for b := 0; b < blocks; b++ {
+		block := append([]uint32(nil), dec.Symbols[b*15:(b+1)*15]...)
+		msg, err := outer.Decode(block)
+		if err != nil {
+			msg = block[:11]
+		}
+		for i := range msg {
+			if msg[i] != payload[b*11+i] {
+				outerErrs++
+			}
+		}
+	}
+	fmt.Printf("payload symbol errors after RS: %d/%d\n", outerErrs, len(payload))
+
+	rate := float64(len(payload)*4) / float64(len(tx))
+	fmt.Printf("\nachieved rate:        %.4f info bits per channel bit\n", rate)
+	fmt.Printf("no-feedback bound:    <= %.4f (erasure bound 1-Pd)\n", core.DeletionUpperBoundTrivial(pd))
+	fmt.Printf("with-feedback rate:   %.4f (Theorem 3, for comparison)\n", 1-pd)
+	fmt.Println("\nreliable without synchronization — but far below the synchronized rate.")
+	return nil
+}

@@ -1,0 +1,78 @@
+// Scheduler example (paper Section 3.1): a covert sender and receiver
+// share a uniprocessor. Different scheduling policies induce different
+// deletion/insertion probabilities on the shared-variable channel; the
+// paper's method measures them and corrects the traditional capacity
+// estimate, ranking the policies as countermeasures. Finally the
+// Appendix A counter protocol is run end to end inside the simulated
+// system under the random scheduler.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		quanta = 400000
+		n      = 4 // bits per covert symbol
+	)
+	type policy struct {
+		name string
+		make func() (sched.Scheduler, error)
+	}
+	policies := []policy{
+		{"round-robin", func() (sched.Scheduler, error) { return sched.NewRoundRobin(), nil }},
+		{"random", func() (sched.Scheduler, error) { return sched.NewRandom(), nil }},
+		{"lottery 4:1", func() (sched.Scheduler, error) { return sched.NewLottery([]int{4, 1}) }},
+		{"fuzzy(rr, 0.3)", func() (sched.Scheduler, error) { return sched.NewFuzzy(sched.NewRoundRobin(), 0.3) }},
+	}
+
+	fmt.Println("policy           Pd      Pi      traditional  corrected")
+	for _, pol := range policies {
+		s, err := pol.make()
+		if err != nil {
+			return err
+		}
+		rep, err := sched.Run(sched.Config{Scheduler: s, Quanta: quanta, Seed: 11})
+		if err != nil {
+			return err
+		}
+		pd, pi := rep.Rates()
+		corrected, err := core.Degrade(n, pd)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-15s  %.4f  %.4f  %-11.3f  %.3f\n", pol.name, pd, pi, float64(n), corrected)
+	}
+
+	// End-to-end covert transfer with the counter protocol under the
+	// policy that induces the textbook non-synchronous behaviour.
+	msg := make([]uint32, 3000)
+	src := rng.New(23)
+	for i := range msg {
+		msg[i] = src.Symbol(n)
+	}
+	res, err := sched.RunCovertSession(sched.Config{
+		Scheduler: sched.NewRandom(),
+		Quanta:    5000000,
+		Seed:      29,
+	}, msg, n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ncounter protocol under random scheduling:\n")
+	fmt.Printf("  delivered %d/%d symbols, error rate %.3f, rate %.4f bits/quantum\n",
+		res.Delivered, len(msg), res.ErrorRate(), res.BitsPerQuantum())
+	return nil
+}

@@ -1,0 +1,66 @@
+// Timing channel example (paper Section 3.1): a sender leaks bits by
+// modulating how long an observable operation takes; the receiver
+// classifies the gaps it measures with its local clock. The example
+// walks the paper's estimation procedure through three regimes — a
+// clean clock, a fuzzy-time clock, and a receiver that also misses
+// events — showing how the traditional timing-capacity estimate must
+// be corrected by (1 - Pd).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/timing"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const calibration = 12000
+	cases := []struct {
+		name string
+		cfg  timing.Config
+	}{
+		{
+			name: "clean clock",
+			cfg:  timing.Config{D0: 1, D1: 3, Jitter: 0.2, Seed: 1},
+		},
+		{
+			name: "jittery clock (sigma 0.8)",
+			cfg:  timing.Config{D0: 1, D1: 3, Jitter: 0.8, Seed: 2},
+		},
+		{
+			name: "jitter + fuzzy time (gran 4)",
+			cfg:  timing.Config{D0: 1, D1: 3, Jitter: 0.8, Granularity: 4, Seed: 3},
+		},
+		{
+			name: "fuzzy time (gran 8, aliasing)",
+			cfg:  timing.Config{D0: 1, D1: 3, Jitter: 0.2, Granularity: 8, Seed: 4},
+		},
+		{
+			name: "jitter + 20% missed events",
+			cfg:  timing.Config{D0: 1, D1: 3, Jitter: 0.8, PMiss: 0.2, Seed: 5},
+		},
+	}
+	fmt.Println("scenario                          C_sync    est.Pd   C_corrected")
+	for _, tc := range cases {
+		ch, err := timing.New(tc.cfg)
+		if err != nil {
+			return err
+		}
+		sync, p, corrected, err := ch.CorrectedCapacity(calibration)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-32s  %.4f    %.4f   %.4f\n", tc.name, sync, p.Pd, corrected)
+	}
+	fmt.Println("\ncapacities in bits per unit time; the paper's correction C(1-Pd)")
+	fmt.Println("separates clock countermeasures (lower C_sync) from scheduling")
+	fmt.Println("non-synchrony (lower corrected capacity at the same C_sync).")
+	return nil
+}

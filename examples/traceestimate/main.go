@@ -1,0 +1,63 @@
+// Trace estimation example (paper Section 4.4 procedure): given only a
+// transmitted and a received symbol trace from an unknown covert
+// channel, estimate the Definition 1 parameters by edit-distance
+// alignment, then report the corrected capacity with confidence
+// intervals — the workflow a covert channel analyst would follow.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Ground truth (hidden from the analyst): a 16-bit-symbol channel
+	// with 4% deletions and 2% insertions.
+	truth := channel.Params{N: 16, Pd: 0.04, Pi: 0.02}
+	ch, err := channel.NewDeletionInsertion(truth, rng.New(2024))
+	if err != nil {
+		return err
+	}
+	sent := make([]uint32, 8000)
+	src := rng.New(17)
+	for i := range sent {
+		sent[i] = src.Symbol(truth.N)
+	}
+	received, _ := ch.Transmit(sent)
+
+	// The analyst's side: align and estimate.
+	est, err := core.EstimateFromTrace(sent, received, truth.N)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("observed %d sent / %d received symbols over ~%d channel uses\n",
+		len(sent), len(received), est.Uses)
+	fmt.Printf("estimated Pd: %.4f  (95%% CI [%.4f, %.4f]; truth %.4f)\n",
+		est.Params.Pd, est.PdLo, est.PdHi, truth.Pd)
+	fmt.Printf("estimated Pi: %.4f  (95%% CI [%.4f, %.4f]; truth %.4f)\n",
+		est.Params.Pi, est.PiLo, est.PiHi, truth.Pi)
+
+	bounds, err := est.Bounds()
+	if err != nil {
+		return err
+	}
+	trueBounds, err := core.ComputeBounds(truth)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ncapacity estimates (bits/use):\n")
+	fmt.Printf("  traditional synchronous:   %.4f\n", float64(truth.N))
+	fmt.Printf("  corrected upper (est.):    %.4f   (truth %.4f)\n", bounds.Upper, trueBounds.Upper)
+	fmt.Printf("  achievable lower (est.):   %.4f   (truth %.4f)\n", bounds.LowerPerUse, trueBounds.LowerPerUse)
+	return nil
+}

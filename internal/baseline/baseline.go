@@ -1,0 +1,144 @@
+// Package baseline implements the "traditional" synchronous covert
+// channel capacity estimators the paper compares against — Millen's
+// finite-state noiseless channels [5], Moskowitz's Simple Timing
+// Channels [10], and the timed Z-channel [11] — together with the
+// paper's Section 4.4 correction: every synchronous estimate C becomes
+// C*(1-Pd) once the channel's non-synchronous deletions are accounted
+// for.
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/infotheory"
+)
+
+// STC is Moskowitz's Simple Timing Channel: a discrete, noiseless,
+// memoryless channel whose symbols are response times t_1..t_n.
+type STC struct {
+	durations []float64
+}
+
+// NewSTC returns a Simple Timing Channel with the given positive
+// symbol durations (at least two).
+func NewSTC(durations []float64) (*STC, error) {
+	if len(durations) < 2 {
+		return nil, fmt.Errorf("baseline: STC needs at least 2 durations, got %d", len(durations))
+	}
+	for i, d := range durations {
+		if d <= 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			return nil, fmt.Errorf("baseline: duration %d is %v, want positive finite", i, d)
+		}
+	}
+	return &STC{durations: append([]float64(nil), durations...)}, nil
+}
+
+// Capacity returns the synchronous capacity in bits per unit time
+// (Shannon's noiseless-channel formula, as in [10]).
+func (s *STC) Capacity() (float64, error) {
+	return infotheory.NoiselessTimingCapacity(s.durations)
+}
+
+// DegradedCapacity applies the paper's non-synchronous correction
+// C*(1-Pd).
+func (s *STC) DegradedCapacity(pd float64) (float64, error) {
+	c, err := s.Capacity()
+	if err != nil {
+		return 0, err
+	}
+	return core.Degrade(c, pd)
+}
+
+// Millen is a finite-state noiseless covert channel [5].
+type Millen struct {
+	states      int
+	transitions []infotheory.FSMTransition
+}
+
+// NewMillen returns the finite-state channel; arguments are validated
+// by the capacity computation.
+func NewMillen(states int, transitions []infotheory.FSMTransition) (*Millen, error) {
+	if states < 1 {
+		return nil, fmt.Errorf("baseline: FSM needs at least one state")
+	}
+	if len(transitions) == 0 {
+		return nil, fmt.Errorf("baseline: FSM needs transitions")
+	}
+	return &Millen{states: states, transitions: append([]infotheory.FSMTransition(nil), transitions...)}, nil
+}
+
+// Capacity returns the synchronous capacity in bits per unit time.
+func (m *Millen) Capacity() (float64, error) {
+	return infotheory.FSMCapacity(m.states, m.transitions)
+}
+
+// DegradedCapacity applies the paper's correction C*(1-Pd).
+func (m *Millen) DegradedCapacity(pd float64) (float64, error) {
+	c, err := m.Capacity()
+	if err != nil {
+		return 0, err
+	}
+	return core.Degrade(c, pd)
+}
+
+// ExampleAcknowledgedChannel returns the classic two-state machine from
+// the finite-state covert channel literature: in state 0 the sender may
+// emit a fast (1 tick) or slow (2 ticks) operation and move to state 1,
+// from which the handshake returns in 1 tick.
+func ExampleAcknowledgedChannel() *Millen {
+	m, err := NewMillen(2, []infotheory.FSMTransition{
+		{From: 0, To: 1, Duration: 1},
+		{From: 0, To: 1, Duration: 2},
+		{From: 1, To: 0, Duration: 1},
+	})
+	if err != nil {
+		panic("baseline: example construction failed: " + err.Error())
+	}
+	return m
+}
+
+// TimedZ is the timed Z-channel of Moskowitz, Greenwald and Kang [11]:
+// binary inputs with durations t0, t1; input 1 flips to 0 with
+// probability p (input 0 is always received correctly).
+type TimedZ struct {
+	t0, t1 float64
+	p      float64
+}
+
+// NewTimedZ returns a timed Z-channel.
+func NewTimedZ(t0, t1, p float64) (*TimedZ, error) {
+	if t0 <= 0 || t1 <= 0 || math.IsNaN(t0) || math.IsNaN(t1) {
+		return nil, fmt.Errorf("baseline: durations (%v, %v) must be positive", t0, t1)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("baseline: flip probability %v out of [0,1]", p)
+	}
+	return &TimedZ{t0: t0, t1: t1, p: p}, nil
+}
+
+// Capacity returns the synchronous capacity in bits per unit time:
+// max over the input distribution of I(X;Y) / E[duration], computed by
+// the generic capacity-per-unit-cost solver (Dinkelbach iteration over
+// cost-tilted Blahut–Arimoto).
+func (z *TimedZ) Capacity() (float64, error) {
+	ch, err := infotheory.ZChannel(z.p)
+	if err != nil {
+		return 0, err
+	}
+	perCost, _, err := ch.CapacityPerCost([]float64{z.t0, z.t1}, 1e-10, 0)
+	if err != nil {
+		return 0, err
+	}
+	return perCost, nil
+}
+
+// DegradedCapacity applies the paper's correction C*(1-Pd).
+func (z *TimedZ) DegradedCapacity(pd float64) (float64, error) {
+	c, err := z.Capacity()
+	if err != nil {
+		return 0, err
+	}
+	return core.Degrade(c, pd)
+}

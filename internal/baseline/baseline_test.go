@@ -1,0 +1,175 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/infotheory"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewSTCValidation(t *testing.T) {
+	if _, err := NewSTC([]float64{1}); err == nil {
+		t.Error("expected error for single duration")
+	}
+	if _, err := NewSTC([]float64{1, -1}); err == nil {
+		t.Error("expected error for negative duration")
+	}
+	if _, err := NewSTC([]float64{1, math.NaN()}); err == nil {
+		t.Error("expected error for NaN duration")
+	}
+}
+
+func TestSTCCapacityBinaryUnit(t *testing.T) {
+	s, err := NewSTC([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Capacity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(c, 1, 1e-9) {
+		t.Fatalf("capacity = %v, want 1", c)
+	}
+}
+
+func TestSTCDegradedCapacity(t *testing.T) {
+	s, err := NewSTC([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.DegradedCapacity(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(d, 0.75, 1e-9) {
+		t.Fatalf("degraded = %v, want 0.75", d)
+	}
+	if _, err := s.DegradedCapacity(1.5); err == nil {
+		t.Error("expected error for bad pd")
+	}
+}
+
+func TestMillenValidation(t *testing.T) {
+	if _, err := NewMillen(0, nil); err == nil {
+		t.Error("expected state error")
+	}
+	if _, err := NewMillen(2, nil); err == nil {
+		t.Error("expected transition error")
+	}
+}
+
+func TestMillenExampleChannel(t *testing.T) {
+	m := ExampleAcknowledgedChannel()
+	c, err := m.Capacity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Messages are sequences of (fast|slow)+ack: durations 2 or 3 per
+	// round trip, so capacity = log2(x) with x^-2 + x^-3 = 1.
+	want, err := infotheory.NoiselessTimingCapacity([]float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(c, want, 1e-9) {
+		t.Fatalf("capacity = %v, want %v", c, want)
+	}
+	d, err := m.DegradedCapacity(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(d, c/2, 1e-12) {
+		t.Fatalf("degraded = %v, want %v", d, c/2)
+	}
+}
+
+func TestTimedZValidation(t *testing.T) {
+	if _, err := NewTimedZ(0, 1, 0.1); err == nil {
+		t.Error("expected duration error")
+	}
+	if _, err := NewTimedZ(1, 1, 1.5); err == nil {
+		t.Error("expected probability error")
+	}
+}
+
+func TestTimedZReducesToZChannel(t *testing.T) {
+	// Equal unit durations: capacity equals the plain Z-channel's.
+	for _, p := range []float64{0, 0.1, 0.3, 0.5} {
+		z, err := NewTimedZ(1, 1, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := z.Capacity()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := infotheory.ZChannelCapacity(p); !almostEqual(c, want, 1e-6) {
+			t.Errorf("p=%v: capacity %v, want %v", p, c, want)
+		}
+	}
+}
+
+func TestTimedZNoiselessMatchesShannon(t *testing.T) {
+	// With p = 0 the timed Z-channel is a noiseless timing channel:
+	// max_q H(q)/E[t] = log2 of the root of x^-t0 + x^-t1 = 1.
+	z, err := NewTimedZ(1, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := z.Capacity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := infotheory.NoiselessTimingCapacity([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(c, want, 1e-6) {
+		t.Fatalf("capacity %v, want Shannon root %v", c, want)
+	}
+}
+
+func TestTimedZNoiseReducesCapacity(t *testing.T) {
+	clean, err := NewTimedZ(1, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := NewTimedZ(1, 2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cClean, err := clean.Capacity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cNoisy, err := noisy.Capacity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cNoisy >= cClean {
+		t.Fatalf("noise should reduce capacity: %v vs %v", cNoisy, cClean)
+	}
+	d, err := noisy.DegradedCapacity(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(d, cNoisy*0.8, 1e-9) {
+		t.Fatalf("degraded = %v, want %v", d, cNoisy*0.8)
+	}
+}
+
+func TestTimedZFullNoise(t *testing.T) {
+	z, err := NewTimedZ(1, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := z.Capacity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c > 1e-9 {
+		t.Fatalf("capacity %v, want 0 at p=1", c)
+	}
+}

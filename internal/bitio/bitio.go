@@ -1,0 +1,218 @@
+// Package bitio provides bit-level sequence utilities used throughout the
+// covert channel library: bit vectors, conversion between byte payloads
+// and bit streams, and packing/unpacking of N-bit channel symbols.
+//
+// The deletion–insertion channel of the paper operates on abstract
+// symbols of N bits each; encoders and protocols need to move freely
+// between application payloads ([]byte), bit sequences ([]byte with one
+// bit per element) and symbol sequences ([]uint32 with N significant bits
+// per element). All functions here are pure and allocation-explicit.
+package bitio
+
+import "fmt"
+
+// BytesToBits expands a byte payload to a bit sequence, most significant
+// bit of each byte first. The result has one bit (0 or 1) per element.
+func BytesToBits(data []byte) []byte {
+	bits := make([]byte, 0, len(data)*8)
+	for _, b := range data {
+		for i := 7; i >= 0; i-- {
+			bits = append(bits, (b>>uint(i))&1)
+		}
+	}
+	return bits
+}
+
+// BitsToBytes packs a bit sequence back into bytes, most significant bit
+// first. It returns an error if len(bits) is not a multiple of 8 or if
+// any element is not 0 or 1.
+func BitsToBytes(bits []byte) ([]byte, error) {
+	if len(bits)%8 != 0 {
+		return nil, fmt.Errorf("bitio: bit length %d is not a multiple of 8", len(bits))
+	}
+	out := make([]byte, len(bits)/8)
+	for i, bit := range bits {
+		if bit > 1 {
+			return nil, fmt.Errorf("bitio: element %d is %d, want 0 or 1", i, bit)
+		}
+		out[i/8] |= bit << uint(7-i%8)
+	}
+	return out, nil
+}
+
+// PackSymbols groups a bit sequence into n-bit symbols, first bit most
+// significant. The bit sequence is zero-padded at the end to a multiple
+// of n. It panics unless 1 <= n <= 32.
+func PackSymbols(bits []byte, n int) []uint32 {
+	checkWidth(n)
+	count := (len(bits) + n - 1) / n
+	syms := make([]uint32, count)
+	for i, bit := range bits {
+		syms[i/n] |= uint32(bit&1) << uint(n-1-i%n)
+	}
+	return syms
+}
+
+// UnpackSymbols expands n-bit symbols into a bit sequence, most
+// significant bit of each symbol first. It panics unless 1 <= n <= 32.
+func UnpackSymbols(syms []uint32, n int) []byte {
+	checkWidth(n)
+	bits := make([]byte, 0, len(syms)*n)
+	for _, s := range syms {
+		for i := n - 1; i >= 0; i-- {
+			bits = append(bits, byte((s>>uint(i))&1))
+		}
+	}
+	return bits
+}
+
+// ValidSymbols reports whether every symbol fits in n bits.
+func ValidSymbols(syms []uint32, n int) bool {
+	checkWidth(n)
+	if n == 32 {
+		return true
+	}
+	limit := uint32(1) << uint(n)
+	for _, s := range syms {
+		if s >= limit {
+			return false
+		}
+	}
+	return true
+}
+
+// HammingBits counts positions where two equal-length bit sequences
+// differ. It returns an error on length mismatch.
+func HammingBits(a, b []byte) (int, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("bitio: length mismatch %d != %d", len(a), len(b))
+	}
+	d := 0
+	for i := range a {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	return d, nil
+}
+
+// HammingSymbols counts positions where two equal-length symbol
+// sequences differ. It returns an error on length mismatch.
+func HammingSymbols(a, b []uint32) (int, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("bitio: length mismatch %d != %d", len(a), len(b))
+	}
+	d := 0
+	for i := range a {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	return d, nil
+}
+
+// XORBits returns the element-wise XOR of two equal-length bit
+// sequences. It returns an error on length mismatch.
+func XORBits(a, b []byte) ([]byte, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("bitio: length mismatch %d != %d", len(a), len(b))
+	}
+	out := make([]byte, len(a))
+	for i := range a {
+		out[i] = (a[i] ^ b[i]) & 1
+	}
+	return out, nil
+}
+
+// OnesCount returns the number of one bits in the sequence.
+func OnesCount(bits []byte) int {
+	n := 0
+	for _, b := range bits {
+		if b&1 == 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// checkWidth validates a symbol bit width.
+func checkWidth(n int) {
+	if n < 1 || n > 32 {
+		panic(fmt.Sprintf("bitio: symbol width %d out of range [1,32]", n))
+	}
+}
+
+// Writer accumulates bits into a growing buffer.
+// The zero value is ready to use.
+type Writer struct {
+	bits []byte
+}
+
+// WriteBit appends a single bit (only the low bit of b is used).
+func (w *Writer) WriteBit(b byte) {
+	w.bits = append(w.bits, b&1)
+}
+
+// WriteBits appends a bit sequence.
+func (w *Writer) WriteBits(bits []byte) {
+	for _, b := range bits {
+		w.bits = append(w.bits, b&1)
+	}
+}
+
+// WriteUint appends the low n bits of v, most significant first.
+func (w *Writer) WriteUint(v uint32, n int) {
+	checkWidth(n)
+	for i := n - 1; i >= 0; i-- {
+		w.bits = append(w.bits, byte((v>>uint(i))&1))
+	}
+}
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() int { return len(w.bits) }
+
+// Bits returns a copy of the accumulated bit sequence.
+func (w *Writer) Bits() []byte {
+	out := make([]byte, len(w.bits))
+	copy(out, w.bits)
+	return out
+}
+
+// Reader consumes bits from a fixed sequence.
+type Reader struct {
+	bits []byte
+	pos  int
+}
+
+// NewReader returns a Reader over the given bit sequence. The Reader
+// does not copy the slice; callers must not mutate it while reading.
+func NewReader(bits []byte) *Reader {
+	return &Reader{bits: bits}
+}
+
+// ReadBit returns the next bit, or an error at end of input.
+func (r *Reader) ReadBit() (byte, error) {
+	if r.pos >= len(r.bits) {
+		return 0, fmt.Errorf("bitio: read past end at bit %d", r.pos)
+	}
+	b := r.bits[r.pos] & 1
+	r.pos++
+	return b, nil
+}
+
+// ReadUint reads n bits as an unsigned value, most significant first.
+func (r *Reader) ReadUint(n int) (uint32, error) {
+	checkWidth(n)
+	var v uint32
+	for i := 0; i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint32(b)
+	}
+	return v, nil
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return len(r.bits) - r.pos }

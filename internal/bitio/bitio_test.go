@@ -1,0 +1,229 @@
+package bitio
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBytesToBitsKnown(t *testing.T) {
+	got := BytesToBits([]byte{0xA5})
+	want := []byte{1, 0, 1, 0, 0, 1, 0, 1}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("BytesToBits(0xA5) = %v, want %v", got, want)
+	}
+}
+
+func TestBytesBitsRoundTrip(t *testing.T) {
+	err := quick.Check(func(data []byte) bool {
+		bits := BytesToBits(data)
+		back, err := BitsToBytes(bits)
+		return err == nil && bytes.Equal(back, data)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitsToBytesErrors(t *testing.T) {
+	if _, err := BitsToBytes([]byte{1, 0, 1}); err == nil {
+		t.Error("expected error for length not multiple of 8")
+	}
+	if _, err := BitsToBytes([]byte{1, 0, 1, 2, 0, 0, 0, 0}); err == nil {
+		t.Error("expected error for non-binary element")
+	}
+}
+
+func TestPackUnpackSymbolsKnown(t *testing.T) {
+	bits := []byte{1, 0, 1, 1, 0, 1}
+	syms := PackSymbols(bits, 3)
+	want := []uint32{0b101, 0b101}
+	if !reflect.DeepEqual(syms, want) {
+		t.Fatalf("PackSymbols = %v, want %v", syms, want)
+	}
+	back := UnpackSymbols(syms, 3)
+	if !bytes.Equal(back, bits) {
+		t.Fatalf("UnpackSymbols = %v, want %v", back, bits)
+	}
+}
+
+func TestPackSymbolsPadding(t *testing.T) {
+	bits := []byte{1, 1}
+	syms := PackSymbols(bits, 4)
+	if len(syms) != 1 || syms[0] != 0b1100 {
+		t.Fatalf("PackSymbols with padding = %v, want [0b1100]", syms)
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	for n := 1; n <= 16; n++ {
+		err := quick.Check(func(raw []byte) bool {
+			bits := make([]byte, len(raw))
+			for i, b := range raw {
+				bits[i] = b & 1
+			}
+			// Pad to a multiple of n so the round trip is exact.
+			for len(bits)%n != 0 {
+				bits = append(bits, 0)
+			}
+			syms := PackSymbols(bits, n)
+			if !ValidSymbols(syms, n) {
+				return false
+			}
+			return bytes.Equal(UnpackSymbols(syms, n), bits)
+		}, &quick.Config{MaxCount: 50})
+		if err != nil {
+			t.Fatalf("width %d: %v", n, err)
+		}
+	}
+}
+
+func TestValidSymbols(t *testing.T) {
+	if !ValidSymbols([]uint32{0, 1, 2, 3}, 2) {
+		t.Error("0..3 should be valid 2-bit symbols")
+	}
+	if ValidSymbols([]uint32{4}, 2) {
+		t.Error("4 should be invalid as a 2-bit symbol")
+	}
+	if !ValidSymbols([]uint32{^uint32(0)}, 32) {
+		t.Error("max uint32 should be valid as a 32-bit symbol")
+	}
+}
+
+func TestWidthPanics(t *testing.T) {
+	for _, n := range []int{0, 33} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PackSymbols width %d did not panic", n)
+				}
+			}()
+			PackSymbols([]byte{1}, n)
+		}()
+	}
+}
+
+func TestHammingBits(t *testing.T) {
+	d, err := HammingBits([]byte{1, 0, 1, 1}, []byte{1, 1, 1, 0})
+	if err != nil || d != 2 {
+		t.Fatalf("HammingBits = %d, %v; want 2, nil", d, err)
+	}
+	if _, err := HammingBits([]byte{1}, []byte{1, 0}); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}
+
+func TestHammingSymbols(t *testing.T) {
+	d, err := HammingSymbols([]uint32{1, 2, 3}, []uint32{1, 9, 3})
+	if err != nil || d != 1 {
+		t.Fatalf("HammingSymbols = %d, %v; want 1, nil", d, err)
+	}
+	if _, err := HammingSymbols([]uint32{1}, nil); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}
+
+func TestXORBits(t *testing.T) {
+	got, err := XORBits([]byte{1, 0, 1, 0}, []byte{1, 1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{0, 1, 1, 0}) {
+		t.Fatalf("XORBits = %v", got)
+	}
+	if _, err := XORBits([]byte{1}, []byte{}); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}
+
+func TestXORSelfInverse(t *testing.T) {
+	err := quick.Check(func(raw []byte) bool {
+		a := make([]byte, len(raw))
+		b := make([]byte, len(raw))
+		for i, v := range raw {
+			a[i] = v & 1
+			b[i] = (v >> 1) & 1
+		}
+		x, err := XORBits(a, b)
+		if err != nil {
+			return false
+		}
+		back, err := XORBits(x, b)
+		return err == nil && bytes.Equal(back, a)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnesCount(t *testing.T) {
+	if got := OnesCount([]byte{1, 0, 1, 1, 0}); got != 3 {
+		t.Fatalf("OnesCount = %d, want 3", got)
+	}
+	if got := OnesCount(nil); got != 0 {
+		t.Fatalf("OnesCount(nil) = %d, want 0", got)
+	}
+}
+
+func TestWriterReader(t *testing.T) {
+	var w Writer
+	w.WriteBit(1)
+	w.WriteBits([]byte{0, 1})
+	w.WriteUint(0b1011, 4)
+	if w.Len() != 7 {
+		t.Fatalf("Writer.Len = %d, want 7", w.Len())
+	}
+	bits := w.Bits()
+	want := []byte{1, 0, 1, 1, 0, 1, 1}
+	if !bytes.Equal(bits, want) {
+		t.Fatalf("Writer.Bits = %v, want %v", bits, want)
+	}
+
+	r := NewReader(bits)
+	b, err := r.ReadBit()
+	if err != nil || b != 1 {
+		t.Fatalf("ReadBit = %d, %v", b, err)
+	}
+	v, err := r.ReadUint(4)
+	if err != nil || v != 0b0110 {
+		t.Fatalf("ReadUint = %04b, %v; want 0110, nil", v, err)
+	}
+	if r.Remaining() != 2 {
+		t.Fatalf("Remaining = %d, want 2", r.Remaining())
+	}
+	if _, err := r.ReadUint(3); err == nil {
+		t.Fatal("expected error reading past end")
+	}
+}
+
+func TestWriterBitsIsCopy(t *testing.T) {
+	var w Writer
+	w.WriteBits([]byte{1, 1})
+	got := w.Bits()
+	got[0] = 0
+	if w.Bits()[0] != 1 {
+		t.Fatal("Writer.Bits exposed internal state")
+	}
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	err := quick.Check(func(vals []uint16, widthSeed uint8) bool {
+		width := int(widthSeed%16) + 1
+		var w Writer
+		for _, v := range vals {
+			w.WriteUint(uint32(v)&((1<<uint(width))-1), width)
+		}
+		r := NewReader(w.Bits())
+		for _, v := range vals {
+			got, err := r.ReadUint(width)
+			if err != nil || got != uint32(v)&((1<<uint(width))-1) {
+				return false
+			}
+		}
+		return r.Remaining() == 0
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,39 @@
+package channel
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func BenchmarkTransmit(b *testing.B) {
+	c, err := NewDeletionInsertion(Params{N: 4, Pd: 0.1, Pi: 0.05, Ps: 0.01}, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := randomSymbols(rng.New(2), 4096, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Transmit(input)
+	}
+	b.SetBytes(int64(len(input)))
+}
+
+func BenchmarkBurstyTransmit(b *testing.B) {
+	c, err := NewBursty(BurstParams{
+		N:          4,
+		Good:       Params{Pd: 0.02, Pi: 0.01},
+		Bad:        Params{Pd: 0.5, Pi: 0.2},
+		PGoodToBad: 0.02,
+		PBadToGood: 0.2,
+	}, rng.New(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := randomSymbols(rng.New(4), 4096, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Transmit(input)
+	}
+	b.SetBytes(int64(len(input)))
+}

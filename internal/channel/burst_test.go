@@ -1,0 +1,209 @@
+package channel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func burstConfig() BurstParams {
+	return BurstParams{
+		N:          4,
+		Good:       Params{Pd: 0.02, Pi: 0.01},
+		Bad:        Params{Pd: 0.5, Pi: 0.2},
+		PGoodToBad: 0.02,
+		PBadToGood: 0.2,
+	}
+}
+
+func TestBurstParamsValidate(t *testing.T) {
+	if err := burstConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*BurstParams)
+	}{
+		{"bad width", func(p *BurstParams) { p.N = 0 }},
+		{"bad good state", func(p *BurstParams) { p.Good.Pd = 2 }},
+		{"bad bad state", func(p *BurstParams) { p.Bad.Pd = 0.9; p.Bad.Pi = 0.9 }},
+		{"bad switch", func(p *BurstParams) { p.PGoodToBad = -1 }},
+		{"bad switch2", func(p *BurstParams) { p.PBadToGood = 1.5 }},
+		{"frozen chain", func(p *BurstParams) { p.PGoodToBad = 0; p.PBadToGood = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := burstConfig()
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Fatal("expected validation error")
+			}
+		})
+	}
+}
+
+func TestStationaryParams(t *testing.T) {
+	p := burstConfig()
+	sp := p.StationaryParams()
+	// piBad = 0.02/0.22 = 1/11.
+	piBad := 1.0 / 11.0
+	wantPd := (1-piBad)*0.02 + piBad*0.5
+	if math.Abs(sp.Pd-wantPd) > 1e-12 {
+		t.Fatalf("stationary Pd = %v, want %v", sp.Pd, wantPd)
+	}
+	if sp.N != 4 {
+		t.Fatalf("stationary N = %d", sp.N)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("stationary params invalid: %v", err)
+	}
+}
+
+func TestNewBurstyValidation(t *testing.T) {
+	if _, err := NewBursty(BurstParams{}, rng.New(1)); err == nil {
+		t.Error("expected params error")
+	}
+	if _, err := NewBursty(burstConfig(), nil); err == nil {
+		t.Error("expected nil source error")
+	}
+}
+
+func TestBurstyLongRunRatesMatchStationary(t *testing.T) {
+	p := burstConfig()
+	c, err := NewBursty(p, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := randomSymbols(rng.New(3), 200000, 4)
+	_, trace := c.Transmit(input)
+	var del, ins int
+	for _, e := range trace {
+		switch e {
+		case EventDelete:
+			del++
+		case EventInsert:
+			ins++
+		}
+	}
+	sp := p.StationaryParams()
+	gotPd := float64(del) / float64(len(trace))
+	gotPi := float64(ins) / float64(len(trace))
+	if math.Abs(gotPd-sp.Pd) > 0.01 {
+		t.Errorf("long-run Pd = %v, want ~%v", gotPd, sp.Pd)
+	}
+	if math.Abs(gotPi-sp.Pi) > 0.01 {
+		t.Errorf("long-run Pi = %v, want ~%v", gotPi, sp.Pi)
+	}
+}
+
+func TestBurstyDeletionsAreBursty(t *testing.T) {
+	// Deletions must cluster: P(delete at t+1 | delete at t) well above
+	// the marginal deletion rate, unlike the i.i.d. channel.
+	p := burstConfig()
+	c, err := NewBursty(p, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := randomSymbols(rng.New(5), 200000, 4)
+	_, trace := c.Transmit(input)
+	var del, delAfterDel, delPairsBase int
+	for i := 0; i < len(trace)-1; i++ {
+		if trace[i] == EventDelete {
+			del++
+			delPairsBase++
+			if trace[i+1] == EventDelete {
+				delAfterDel++
+			}
+		}
+	}
+	marginal := float64(del) / float64(len(trace))
+	conditional := float64(delAfterDel) / float64(delPairsBase)
+	if conditional < marginal*2 {
+		t.Fatalf("deletions not bursty: P(D|D)=%v vs marginal %v", conditional, marginal)
+	}
+}
+
+func TestBurstyACFExceedsIID(t *testing.T) {
+	// The lag-1 autocorrelation of the deletion-indicator series must
+	// be clearly positive for the bursty channel and near zero for the
+	// i.i.d. channel at the same average rate.
+	p := burstConfig()
+	bc, err := NewBursty(p, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := randomSymbols(rng.New(22), 100000, 4)
+	_, burstTrace := bc.Transmit(input)
+
+	sp := p.StationaryParams()
+	ic, err := NewDeletionInsertion(sp, rng.New(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, iidTrace := ic.Transmit(input)
+
+	indicator := func(trace []EventKind) []float64 {
+		xs := make([]float64, len(trace))
+		for i, e := range trace {
+			if e == EventDelete {
+				xs[i] = 1
+			}
+		}
+		return xs
+	}
+	rBurst, err := stats.AutoCorrelation(indicator(burstTrace), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rIID, err := stats.AutoCorrelation(indicator(iidTrace), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rBurst < 0.1 {
+		t.Errorf("bursty lag-1 ACF = %v, want clearly positive", rBurst)
+	}
+	if math.Abs(rIID) > 0.02 {
+		t.Errorf("i.i.d. lag-1 ACF = %v, want near zero", rIID)
+	}
+}
+
+func TestBurstyStateVisible(t *testing.T) {
+	p := burstConfig()
+	p.PGoodToBad = 1 // forced switch on first use
+	c, err := NewBursty(p, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.InBadState() {
+		t.Fatal("channel must start in the good state")
+	}
+	c.Use(0)
+	if !c.InBadState() {
+		t.Fatal("channel must be in the bad state after a forced switch")
+	}
+}
+
+func TestBurstyDeterministic(t *testing.T) {
+	p := burstConfig()
+	input := randomSymbols(rng.New(7), 5000, 4)
+	a, err := NewBursty(p, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBursty(p, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recvA, traceA := a.Transmit(input)
+	recvB, traceB := b.Transmit(input)
+	if len(recvA) != len(recvB) || len(traceA) != len(traceB) {
+		t.Fatal("same seed produced different shapes")
+	}
+	for i := range recvA {
+		if recvA[i] != recvB[i] {
+			t.Fatal("same seed produced different symbols")
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package channel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func mustDI(t *testing.T, p Params, seed uint64) *DeletionInsertion {
+	t.Helper()
+	c, err := NewDeletionInsertion(p, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func randomSymbols(src *rng.Source, n, width int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = src.Symbol(width)
+	}
+	return out
+}
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       Params
+		wantErr bool
+	}{
+		{name: "valid", p: Params{N: 4, Pd: 0.1, Pi: 0.1, Ps: 0.05}},
+		{name: "noiseless", p: Params{N: 1}},
+		{name: "zero width", p: Params{N: 0}, wantErr: true},
+		{name: "wide", p: Params{N: 17}, wantErr: true},
+		{name: "negative pd", p: Params{N: 2, Pd: -0.1}, wantErr: true},
+		{name: "pi too large", p: Params{N: 2, Pi: 1.2}, wantErr: true},
+		{name: "ps too large", p: Params{N: 2, Ps: 2}, wantErr: true},
+		{name: "sum exceeds one", p: Params{N: 2, Pd: 0.6, Pi: 0.6}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.p.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestParamsDerived(t *testing.T) {
+	p := Params{N: 3, Pd: 0.2, Pi: 0.3}
+	if got := p.Pt(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Pt = %v, want 0.5", got)
+	}
+	if p.M() != 8 {
+		t.Fatalf("M = %d, want 8", p.M())
+	}
+}
+
+func TestNewDeletionInsertionNilSource(t *testing.T) {
+	if _, err := NewDeletionInsertion(Params{N: 1}, nil); err == nil {
+		t.Fatal("expected error for nil source")
+	}
+}
+
+func TestNoiselessTransmitIsIdentity(t *testing.T) {
+	c := mustDI(t, Params{N: 4}, 1)
+	src := rng.New(2)
+	in := randomSymbols(src, 500, 4)
+	recv, trace := c.Transmit(in)
+	if len(recv) != len(in) {
+		t.Fatalf("received %d symbols, want %d", len(recv), len(in))
+	}
+	for i := range in {
+		if recv[i] != in[i] {
+			t.Fatalf("symbol %d corrupted on noiseless channel", i)
+		}
+	}
+	for _, e := range trace {
+		if e != EventTransmit {
+			t.Fatalf("unexpected event %v on noiseless channel", e)
+		}
+	}
+}
+
+func TestEventRatesMatchParameters(t *testing.T) {
+	p := Params{N: 4, Pd: 0.15, Pi: 0.1, Ps: 0.2}
+	c := mustDI(t, p, 3)
+	src := rng.New(4)
+	in := randomSymbols(src, 60000, 4)
+	_, trace := c.Transmit(in)
+
+	counts := map[EventKind]int{}
+	for _, e := range trace {
+		counts[e]++
+	}
+	uses := float64(len(trace))
+	if got := float64(counts[EventDelete]) / uses; math.Abs(got-p.Pd) > 0.01 {
+		t.Errorf("deletion rate = %v, want ~%v", got, p.Pd)
+	}
+	if got := float64(counts[EventInsert]) / uses; math.Abs(got-p.Pi) > 0.01 {
+		t.Errorf("insertion rate = %v, want ~%v", got, p.Pi)
+	}
+	transmitted := counts[EventTransmit] + counts[EventSubstitute]
+	if got := float64(counts[EventSubstitute]) / float64(transmitted); math.Abs(got-p.Ps) > 0.01 {
+		t.Errorf("substitution rate = %v, want ~%v", got, p.Ps)
+	}
+}
+
+func TestTransmitConsumesAllInput(t *testing.T) {
+	p := Params{N: 2, Pd: 0.3, Pi: 0.3}
+	c := mustDI(t, p, 5)
+	in := randomSymbols(rng.New(6), 1000, 2)
+	_, trace := c.Transmit(in)
+	consumed := 0
+	for _, e := range trace {
+		if e != EventInsert {
+			consumed++
+		}
+	}
+	if consumed != len(in) {
+		t.Fatalf("consumed %d symbols, want %d", consumed, len(in))
+	}
+}
+
+func TestTransmitEmptyInput(t *testing.T) {
+	c := mustDI(t, Params{N: 1, Pd: 0.5, Pi: 0.3}, 7)
+	recv, trace := c.Transmit(nil)
+	if len(recv) != 0 || len(trace) != 0 {
+		t.Fatalf("empty input produced %d symbols, %d events", len(recv), len(trace))
+	}
+}
+
+func TestAlignmentRecoversRates(t *testing.T) {
+	// Integration with stats.Align: aligning sent vs received over a
+	// wide-alphabet channel should approximately recover Pd and Pi
+	// (wide alphabet keeps spurious matches rare).
+	p := Params{N: 16, Pd: 0.1, Pi: 0.05}
+	c := mustDI(t, p, 8)
+	in := randomSymbols(rng.New(9), 4000, 16)
+	recv, _ := c.Transmit(in)
+	pd, pi, _ := stats.Align(in, recv).Rates()
+	if math.Abs(pd-p.Pd) > 0.02 {
+		t.Errorf("aligned Pd = %v, want ~%v", pd, p.Pd)
+	}
+	if math.Abs(pi-p.Pi) > 0.02 {
+		t.Errorf("aligned Pi = %v, want ~%v", pi, p.Pi)
+	}
+}
+
+func TestUseSemantics(t *testing.T) {
+	p := Params{N: 4, Pd: 0.3, Pi: 0.3, Ps: 0.5}
+	c := mustDI(t, p, 10)
+	seenKinds := map[EventKind]bool{}
+	for i := 0; i < 10000; i++ {
+		u := c.Use(5)
+		seenKinds[u.Kind] = true
+		switch u.Kind {
+		case EventDelete:
+			if !u.Consumed {
+				t.Fatal("delete must consume")
+			}
+		case EventInsert:
+			if u.Consumed {
+				t.Fatal("insert must not consume")
+			}
+			if u.Delivered >= 16 {
+				t.Fatalf("inserted symbol %d out of alphabet", u.Delivered)
+			}
+		case EventTransmit:
+			if !u.Consumed || u.Delivered != 5 {
+				t.Fatalf("transmit delivered %d, consumed %v", u.Delivered, u.Consumed)
+			}
+		case EventSubstitute:
+			if !u.Consumed || u.Delivered == 5 || u.Delivered >= 16 {
+				t.Fatalf("substitute delivered %d, consumed %v", u.Delivered, u.Consumed)
+			}
+		}
+	}
+	for _, k := range []EventKind{EventTransmit, EventSubstitute, EventDelete, EventInsert} {
+		if !seenKinds[k] {
+			t.Errorf("event kind %v never occurred in 10000 uses", k)
+		}
+	}
+}
+
+func TestSubstituteAlwaysDiffers(t *testing.T) {
+	// With Ps = 1 every transmission must deliver a different symbol.
+	c := mustDI(t, Params{N: 1, Ps: 1}, 11)
+	for i := 0; i < 1000; i++ {
+		u := c.Use(1)
+		if u.Kind != EventSubstitute || u.Delivered != 0 {
+			t.Fatalf("use %d: kind %v delivered %d, want substitute 0", i, u.Kind, u.Delivered)
+		}
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	tests := []struct {
+		k    EventKind
+		want string
+	}{
+		{EventTransmit, "T"}, {EventSubstitute, "S"}, {EventDelete, "D"}, {EventInsert, "I"}, {EventKind(0), "?"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("EventKind(%d).String() = %q, want %q", tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	p := Params{N: 4, Pd: 0.2, Pi: 0.1, Ps: 0.1}
+	in := randomSymbols(rng.New(12), 200, 4)
+	a := mustDI(t, p, 99)
+	b := mustDI(t, p, 99)
+	recvA, traceA := a.Transmit(in)
+	recvB, traceB := b.Transmit(in)
+	if len(recvA) != len(recvB) || len(traceA) != len(traceB) {
+		t.Fatal("same seed produced different shapes")
+	}
+	for i := range recvA {
+		if recvA[i] != recvB[i] {
+			t.Fatal("same seed produced different symbols")
+		}
+	}
+}

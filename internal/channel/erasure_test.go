@@ -1,0 +1,186 @@
+package channel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestNewErasureValidation(t *testing.T) {
+	if _, err := NewErasure(0, 0.1, rng.New(1)); err == nil {
+		t.Error("expected error for width 0")
+	}
+	if _, err := NewErasure(4, 1.5, rng.New(1)); err == nil {
+		t.Error("expected error for pe > 1")
+	}
+	if _, err := NewErasure(4, 0.1, nil); err == nil {
+		t.Error("expected error for nil source")
+	}
+}
+
+func TestErasurePreservesPositions(t *testing.T) {
+	c, err := NewErasure(4, 0.3, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := randomSymbols(rng.New(3), 20000, 4)
+	out := c.Transmit(in)
+	if len(out) != len(in) {
+		t.Fatalf("output length %d, want %d", len(out), len(in))
+	}
+	erased := 0
+	for i, e := range out {
+		if e.Erased {
+			erased++
+			continue
+		}
+		if e.Symbol != in[i] {
+			t.Fatalf("position %d corrupted: %d != %d", i, e.Symbol, in[i])
+		}
+	}
+	if rate := float64(erased) / float64(len(in)); math.Abs(rate-0.3) > 0.01 {
+		t.Fatalf("erasure rate %v, want ~0.3", rate)
+	}
+}
+
+func TestExtendedErasureRevealsLocations(t *testing.T) {
+	p := Params{N: 4, Pd: 0.2, Pi: 0.15}
+	c, err := NewExtendedErasure(p, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := randomSymbols(rng.New(5), 5000, 4)
+	out := c.Transmit(in)
+
+	// Reconstruct the transmitted subsequence using the side
+	// information: every EventTransmit corresponds to the next input
+	// position; deletions consume a position; insertions do not.
+	pos := 0
+	for i, u := range out {
+		switch u.Kind {
+		case EventTransmit:
+			if u.Delivered != in[pos] {
+				t.Fatalf("entry %d: delivered %d, want input[%d] = %d", i, u.Delivered, pos, in[pos])
+			}
+			pos++
+		case EventSubstitute, EventDelete:
+			pos++
+		case EventInsert:
+			// does not consume
+		}
+	}
+	if pos != len(in) {
+		t.Fatalf("consumed %d inputs, want %d", pos, len(in))
+	}
+}
+
+func TestExtendedErasureParams(t *testing.T) {
+	p := Params{N: 2, Pd: 0.1, Pi: 0.1}
+	c, err := NewExtendedErasure(p, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Params() != p {
+		t.Fatalf("Params = %+v, want %+v", c.Params(), p)
+	}
+	if _, err := NewExtendedErasure(Params{N: 0}, rng.New(1)); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestNoiselessChannel(t *testing.T) {
+	c, err := NewNoiseless(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []uint32{1, 2, 3}
+	out := c.Transmit(in)
+	out[0] = 99
+	if in[0] != 1 {
+		t.Fatal("Transmit must copy, not alias")
+	}
+	if _, err := NewNoiseless(17); err == nil {
+		t.Fatal("expected width validation error")
+	}
+}
+
+func TestSubstitutingChannel(t *testing.T) {
+	c, err := NewSubstituting(4, 0.25, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := randomSymbols(rng.New(7), 40000, 4)
+	out := c.Transmit(in)
+	subs := 0
+	for i := range in {
+		if out[i] != in[i] {
+			subs++
+			if out[i] >= 16 {
+				t.Fatalf("substituted symbol %d out of alphabet", out[i])
+			}
+		}
+	}
+	if rate := float64(subs) / float64(len(in)); math.Abs(rate-0.25) > 0.01 {
+		t.Fatalf("substitution rate %v, want ~0.25", rate)
+	}
+}
+
+func TestSubstitutingValidation(t *testing.T) {
+	if _, err := NewSubstituting(0, 0.1, rng.New(1)); err == nil {
+		t.Error("expected width error")
+	}
+	if _, err := NewSubstituting(2, -1, rng.New(1)); err == nil {
+		t.Error("expected probability error")
+	}
+	if _, err := NewSubstituting(2, 0.5, nil); err == nil {
+		t.Error("expected nil source error")
+	}
+}
+
+func TestBinaryDI(t *testing.T) {
+	c, err := NewBinaryDI(0.1, 0.05, 0.02, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Params(); got.N != 1 || got.Pd != 0.1 {
+		t.Fatalf("Params = %+v", got)
+	}
+	in := make([]byte, 10000)
+	src := rng.New(9)
+	for i := range in {
+		in[i] = src.Bit()
+	}
+	out, err := c.Transmit(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range out {
+		if b > 1 {
+			t.Fatalf("output bit %d is %d", i, b)
+		}
+	}
+	// Expected length ratio: received/sent = (1-Pd)/(1-Pi) because each
+	// input consumes uses at rate (Pd+Pt) and each use delivers at rate
+	// (Pi+Pt).
+	want := (1 - 0.1) / (1 - 0.05)
+	if ratio := float64(len(out)) / float64(len(in)); math.Abs(ratio-want) > 0.03 {
+		t.Fatalf("length ratio %v, want ~%v", ratio, want)
+	}
+}
+
+func TestBinaryDIRejectsNonBinary(t *testing.T) {
+	c, err := NewBinaryDI(0, 0, 0, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Transmit([]byte{0, 1, 2}); err == nil {
+		t.Fatal("expected error for non-binary input")
+	}
+}
+
+func TestBinaryDIValidation(t *testing.T) {
+	if _, err := NewBinaryDI(0.7, 0.7, 0, rng.New(1)); err == nil {
+		t.Fatal("expected error for Pd+Pi > 1")
+	}
+}

@@ -1,0 +1,183 @@
+// Package conv implements rate-1/n binary convolutional codes with two
+// decoders: the classic synchronous Viterbi decoder for substitution
+// channels, and a joint (encoder-state × drift) Viterbi decoder for
+// deletion–insertion channels. The latter is the modern dynamic-
+// programming rendering of Zigangirov's sequential decoding for
+// channels with drop-outs and insertions, the paper's reference [12].
+package conv
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Code is a rate-1/n convolutional code with constraint length K: each
+// input bit emits len(gens) coded bits computed from the last K input
+// bits. Generator masks are K bits wide with the current input at the
+// most significant bit.
+type Code struct {
+	k    int
+	gens []uint32
+}
+
+// New returns a code with the given constraint length and generator
+// masks. K must lie in [2, 10] (states = 2^(K-1)) and each generator
+// must be a non-zero K-bit mask.
+func New(constraintLen int, gens []uint32) (*Code, error) {
+	if constraintLen < 2 || constraintLen > 10 {
+		return nil, fmt.Errorf("conv: constraint length %d out of [2,10]", constraintLen)
+	}
+	if len(gens) < 2 {
+		return nil, fmt.Errorf("conv: need at least 2 generators, got %d", len(gens))
+	}
+	limit := uint32(1) << uint(constraintLen)
+	for i, g := range gens {
+		if g == 0 || g >= limit {
+			return nil, fmt.Errorf("conv: generator %d (%#o) not a non-zero %d-bit mask", i, g, constraintLen)
+		}
+	}
+	return &Code{k: constraintLen, gens: append([]uint32(nil), gens...)}, nil
+}
+
+// Standard returns the ubiquitous K=3 (7,5) code.
+func Standard() *Code {
+	c, err := New(3, []uint32{0b111, 0b101})
+	if err != nil {
+		panic("conv: standard code construction failed: " + err.Error())
+	}
+	return c
+}
+
+// ConstraintLen returns K.
+func (c *Code) ConstraintLen() int { return c.k }
+
+// OutputsPerBit returns the number of coded bits per input bit.
+func (c *Code) OutputsPerBit() int { return len(c.gens) }
+
+// numStates returns 2^(K-1).
+func (c *Code) numStates() int { return 1 << uint(c.k-1) }
+
+// step returns the coded bits and next state for (state, input bit).
+// The register is [input, state] with input at the MSB.
+func (c *Code) step(state uint32, bit byte) (out []byte, next uint32) {
+	reg := uint32(bit&1)<<uint(c.k-1) | state
+	out = make([]byte, len(c.gens))
+	for i, g := range c.gens {
+		out[i] = byte(bits.OnesCount32(reg&g) & 1)
+	}
+	return out, reg >> 1
+}
+
+// stepInto writes the coded bits into dst (len(gens) entries) and
+// returns the next state, avoiding per-branch allocation in decoders.
+func (c *Code) stepInto(dst []byte, state uint32, bit byte) uint32 {
+	reg := uint32(bit&1)<<uint(c.k-1) | state
+	for i, g := range c.gens {
+		dst[i] = byte(bits.OnesCount32(reg&g) & 1)
+	}
+	return reg >> 1
+}
+
+// Encode convolutionally encodes the message and appends K-1 zero
+// flush bits so the trellis terminates in state 0. The output length is
+// (len(msg)+K-1) * OutputsPerBit().
+func (c *Code) Encode(msg []byte) ([]byte, error) {
+	for i, b := range msg {
+		if b > 1 {
+			return nil, fmt.Errorf("conv: message bit %d is %d, want 0 or 1", i, b)
+		}
+	}
+	out := make([]byte, 0, (len(msg)+c.k-1)*len(c.gens))
+	state := uint32(0)
+	var chunk []byte
+	for _, b := range msg {
+		chunk, state = c.step(state, b)
+		out = append(out, chunk...)
+	}
+	for i := 0; i < c.k-1; i++ {
+		chunk, state = c.step(state, 0)
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+// DecodeViterbi performs synchronous hard-decision Viterbi decoding of
+// a received word of exactly the encoded length for msgLen message
+// bits, assuming a substitution-only channel. It returns the most
+// likely message.
+func (c *Code) DecodeViterbi(recv []byte, msgLen int) ([]byte, error) {
+	if msgLen < 1 {
+		return nil, fmt.Errorf("conv: message length %d, want >= 1", msgLen)
+	}
+	steps := msgLen + c.k - 1
+	if len(recv) != steps*len(c.gens) {
+		return nil, fmt.Errorf("conv: received length %d, want %d", len(recv), steps*len(c.gens))
+	}
+	for i, b := range recv {
+		if b > 1 {
+			return nil, fmt.Errorf("conv: received bit %d is %d, want 0 or 1", i, b)
+		}
+	}
+	ns := c.numStates()
+	const inf = math.MaxInt32
+	cost := make([]int, ns)
+	for s := 1; s < ns; s++ {
+		cost[s] = inf
+	}
+	// pred[t][s] stores the input bit and previous state packed.
+	type hop struct {
+		prev uint32
+		bit  byte
+		ok   bool
+	}
+	pred := make([][]hop, steps)
+	chunk := make([]byte, len(c.gens))
+	for t := 0; t < steps; t++ {
+		next := make([]int, ns)
+		for i := range next {
+			next[i] = inf
+		}
+		pred[t] = make([]hop, ns)
+		maxBit := byte(1)
+		if t >= msgLen {
+			maxBit = 0 // flush bits are zero
+		}
+		for s := 0; s < ns; s++ {
+			if cost[s] == inf {
+				continue
+			}
+			for b := byte(0); b <= maxBit; b++ {
+				nextState := c.stepInto(chunk, uint32(s), b)
+				d := 0
+				for j, cb := range chunk {
+					if recv[t*len(c.gens)+j] != cb {
+						d++
+					}
+				}
+				if nc := cost[s] + d; nc < next[nextState] {
+					next[nextState] = nc
+					pred[t][nextState] = hop{prev: uint32(s), bit: b, ok: true}
+				}
+			}
+		}
+		cost = next
+	}
+	if cost[0] == inf {
+		return nil, fmt.Errorf("conv: trellis termination unreachable")
+	}
+	// Trace back from state 0.
+	msg := make([]byte, msgLen)
+	state := uint32(0)
+	for t := steps - 1; t >= 0; t-- {
+		h := pred[t][state]
+		if !h.ok {
+			return nil, fmt.Errorf("conv: traceback broke at step %d", t)
+		}
+		if t < msgLen {
+			msg[t] = h.bit
+		}
+		state = h.prev
+	}
+	return msg, nil
+}

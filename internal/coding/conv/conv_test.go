@@ -1,0 +1,154 @@
+package conv
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, []uint32{1, 1}); err == nil {
+		t.Error("expected constraint length error")
+	}
+	if _, err := New(11, []uint32{1, 1}); err == nil {
+		t.Error("expected constraint length error")
+	}
+	if _, err := New(3, []uint32{0b111}); err == nil {
+		t.Error("expected generator count error")
+	}
+	if _, err := New(3, []uint32{0b111, 0}); err == nil {
+		t.Error("expected zero generator error")
+	}
+	if _, err := New(3, []uint32{0b111, 0b1000}); err == nil {
+		t.Error("expected generator width error")
+	}
+}
+
+func TestStandardCodeProperties(t *testing.T) {
+	c := Standard()
+	if c.ConstraintLen() != 3 || c.OutputsPerBit() != 2 {
+		t.Fatalf("K=%d n=%d", c.ConstraintLen(), c.OutputsPerBit())
+	}
+}
+
+func TestEncodeKnownVector(t *testing.T) {
+	// (7,5) code, input 1011: classic textbook output with flush.
+	c := Standard()
+	got, err := c.Encode([]byte{1, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-computed: state register [current, s1, s0], g0=111, g1=101.
+	// in=1: reg=100 out=(1,1) state=10
+	// in=0: reg=010 out=(1,0) state=01
+	// in=1: reg=101 out=(0,0) state=10
+	// in=1: reg=110 out=(0,1) state=11
+	// flush 0: reg=011 out=(0,1) state=01
+	// flush 0: reg=001 out=(1,1) state=00
+	want := []byte{1, 1, 1, 0, 0, 0, 0, 1, 0, 1, 1, 1}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Encode = %v, want %v", got, want)
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	if _, err := Standard().Encode([]byte{0, 2}); err == nil {
+		t.Fatal("expected bit error")
+	}
+}
+
+func TestViterbiNoErrors(t *testing.T) {
+	c := Standard()
+	src := rng.New(1)
+	for trial := 0; trial < 20; trial++ {
+		msg := randomBits(src, 64)
+		cw, err := c.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.DecodeViterbi(cw, len(msg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("trial %d: clean decode mismatch", trial)
+		}
+	}
+}
+
+func TestViterbiCorrectsScatteredErrors(t *testing.T) {
+	// The (7,5) code has free distance 5: any 2 errors in one
+	// constraint span are correctable; scattered 4% errors decode.
+	c := Standard()
+	src := rng.New(2)
+	ok := 0
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		msg := randomBits(src, 128)
+		cw, err := c.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recv := append([]byte(nil), cw...)
+		for i := range recv {
+			if src.Bool(0.02) {
+				recv[i] ^= 1
+			}
+		}
+		got, err := c.DecodeViterbi(recv, len(msg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(got, msg) {
+			ok++
+		}
+	}
+	if ok < trials*8/10 {
+		t.Fatalf("only %d/%d noisy decodes succeeded", ok, trials)
+	}
+}
+
+func TestViterbiValidation(t *testing.T) {
+	c := Standard()
+	if _, err := c.DecodeViterbi(make([]byte, 10), 0); err == nil {
+		t.Error("expected message length error")
+	}
+	if _, err := c.DecodeViterbi(make([]byte, 9), 4); err == nil {
+		t.Error("expected received length error")
+	}
+	bad := make([]byte, 12)
+	bad[0] = 3
+	if _, err := c.DecodeViterbi(bad, 4); err == nil {
+		t.Error("expected bit error")
+	}
+}
+
+func TestLongerConstraintCode(t *testing.T) {
+	// K=5 (23, 35 octal) code round trip.
+	c, err := New(5, []uint32{0o23, 0o35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(3)
+	msg := randomBits(src, 100)
+	cw, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.DecodeViterbi(cw, len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("K=5 clean decode mismatch")
+	}
+}
+
+func randomBits(src *rng.Source, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = src.Bit()
+	}
+	return out
+}

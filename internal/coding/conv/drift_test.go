@@ -1,0 +1,193 @@
+package conv
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/rng"
+)
+
+func TestDriftParamsValidation(t *testing.T) {
+	c := Standard()
+	recv := make([]byte, 20)
+	tests := []struct {
+		name string
+		p    DriftParams
+	}{
+		{"bad pd", DriftParams{Pd: -0.1, MaxDrift: 4}},
+		{"bad pi", DriftParams{Pi: 1.1, MaxDrift: 4}},
+		{"bad ps", DriftParams{Ps: 2, MaxDrift: 4}},
+		{"sum", DriftParams{Pd: 0.6, Pi: 0.5, MaxDrift: 4}},
+		{"drift", DriftParams{Pd: 0.1, MaxDrift: -1}},
+		{"inscap", DriftParams{Pd: 0.1, MaxDrift: 4, MaxInsertionsPerBit: -1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := c.DecodeDrift(recv, 8, tt.p); err == nil {
+				t.Fatal("expected validation error")
+			}
+		})
+	}
+	if _, err := c.DecodeDrift(recv, 0, DriftParams{Pd: 0.1, MaxDrift: 4}); err == nil {
+		t.Error("expected message length error")
+	}
+	if _, err := c.DecodeDrift([]byte{2}, 8, DriftParams{Pd: 0.1, MaxDrift: 4}); err == nil {
+		t.Error("expected bit error")
+	}
+}
+
+func TestDecodeDriftCleanChannel(t *testing.T) {
+	c := Standard()
+	src := rng.New(1)
+	msg := randomBits(src, 64)
+	cw, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.DecodeDrift(cw, len(msg), DriftParams{Pd: 0.01, Pi: 0.01, MaxDrift: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("clean drift decode mismatch")
+	}
+}
+
+func TestDecodeDriftSingleDeletion(t *testing.T) {
+	c := Standard()
+	src := rng.New(2)
+	msg := randomBits(src, 48)
+	cw, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, del := range []int{0, 17, len(cw) - 1} {
+		recv := append(append([]byte(nil), cw[:del]...), cw[del+1:]...)
+		got, err := c.DecodeDrift(recv, len(msg), DriftParams{Pd: 0.02, Pi: 0.01, MaxDrift: 4})
+		if err != nil {
+			t.Fatalf("del at %d: %v", del, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("del at %d: wrong message", del)
+		}
+	}
+}
+
+func TestDecodeDriftSingleInsertion(t *testing.T) {
+	c := Standard()
+	src := rng.New(3)
+	msg := randomBits(src, 48)
+	cw, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ins := range []int{0, 25, len(cw)} {
+		recv := append([]byte(nil), cw[:ins]...)
+		recv = append(recv, 1)
+		recv = append(recv, cw[ins:]...)
+		got, err := c.DecodeDrift(recv, len(msg), DriftParams{Pd: 0.01, Pi: 0.02, MaxDrift: 4})
+		if err != nil {
+			t.Fatalf("ins at %d: %v", ins, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("ins at %d: wrong message", ins)
+		}
+	}
+}
+
+func TestDecodeDriftOverChannel(t *testing.T) {
+	// End-to-end over the Definition 1 binary channel at low event
+	// rates: most frames decode exactly.
+	c := Standard()
+	src := rng.New(4)
+	p := DriftParams{Pd: 0.004, Pi: 0.004, MaxDrift: 10}
+	ok := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		msg := randomBits(src, 96)
+		cw, err := c.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := channel.NewBinaryDI(p.Pd, p.Pi, 0, rng.New(uint64(100+trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		recv, err := ch.Transmit(cw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.DecodeDrift(recv, len(msg), p)
+		if err != nil {
+			continue
+		}
+		if bytes.Equal(got, msg) {
+			ok++
+		}
+	}
+	if ok < trials*6/10 {
+		t.Fatalf("only %d/%d frames decoded over DI channel", ok, trials)
+	}
+}
+
+func TestDecodeDriftWithSubstitutions(t *testing.T) {
+	c := Standard()
+	src := rng.New(5)
+	msg := randomBits(src, 64)
+	cw, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv := append([]byte(nil), cw...)
+	recv[10] ^= 1
+	recv[60] ^= 1
+	got, err := c.DecodeDrift(recv, len(msg), DriftParams{Pd: 0.01, Pi: 0.01, Ps: 0.02, MaxDrift: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("substitution drift decode mismatch")
+	}
+}
+
+func TestDecodeDriftExceedsWindow(t *testing.T) {
+	c := Standard()
+	src := rng.New(6)
+	msg := randomBits(src, 32)
+	cw, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop 6 bits with a window of 2: realized drift exceeds bound.
+	recv := cw[:len(cw)-6]
+	if _, err := c.DecodeDrift(recv, len(msg), DriftParams{Pd: 0.1, MaxDrift: 2}); err == nil {
+		t.Fatal("expected drift bound error")
+	}
+}
+
+func TestDecodeDriftMatchesViterbiOnSyncChannel(t *testing.T) {
+	// With no deletions/insertions the drift decoder must agree with
+	// the synchronous Viterbi decoder.
+	c := Standard()
+	src := rng.New(7)
+	msg := randomBits(src, 80)
+	cw, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv := append([]byte(nil), cw...)
+	recv[5] ^= 1
+	recv[40] ^= 1
+	a, err := c.DecodeViterbi(recv, len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.DecodeDrift(recv, len(msg), DriftParams{Ps: 0.02, MaxDrift: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("drift and synchronous decoders disagree on a synchronous channel")
+	}
+}

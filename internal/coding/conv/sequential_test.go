@@ -1,0 +1,178 @@
+package conv
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/rng"
+)
+
+func seqParams() SequentialParams {
+	return SequentialParams{Pd: 0.01, Pi: 0.01, MaxDrift: 8}
+}
+
+func TestSequentialParamsValidation(t *testing.T) {
+	c := Standard()
+	recv := make([]byte, 20)
+	bad := []SequentialParams{
+		{Pd: -0.1, MaxDrift: 4},
+		{Pd: 0.6, Pi: 0.5, MaxDrift: 4},
+		{Pd: 0.1, MaxDrift: -1},
+		{Pd: 0.1, MaxDrift: 4, MaxExpansions: -1},
+	}
+	for i, p := range bad {
+		if _, _, err := c.DecodeSequential(recv, 8, p); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	if _, _, err := c.DecodeSequential(recv, 0, seqParams()); err == nil {
+		t.Error("expected message length error")
+	}
+	if _, _, err := c.DecodeSequential([]byte{2}, 8, seqParams()); err == nil {
+		t.Error("expected bit error")
+	}
+}
+
+func TestSequentialCleanDecode(t *testing.T) {
+	c := Standard()
+	src := rng.New(1)
+	msg := randomBits(src, 64)
+	cw, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, exp, err := c.DecodeSequential(cw, len(msg), seqParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("clean sequential decode mismatch")
+	}
+	// On a clean stream the stack should track essentially one path:
+	// expansions close to the number of steps, far below the trellis.
+	if exp > 5*(len(msg)+2) {
+		t.Fatalf("clean decode used %d expansions, expected near-linear", exp)
+	}
+}
+
+func TestSequentialSingleDeletion(t *testing.T) {
+	c := Standard()
+	src := rng.New(2)
+	msg := randomBits(src, 48)
+	cw, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, del := range []int{0, 31, len(cw) - 1} {
+		recv := append(append([]byte(nil), cw[:del]...), cw[del+1:]...)
+		got, _, err := c.DecodeSequential(recv, len(msg), seqParams())
+		if err != nil {
+			t.Fatalf("del at %d: %v", del, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("del at %d: wrong message", del)
+		}
+	}
+}
+
+func TestSequentialSingleInsertion(t *testing.T) {
+	c := Standard()
+	src := rng.New(3)
+	msg := randomBits(src, 48)
+	cw, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ins := range []int{0, 40, len(cw)} {
+		recv := append([]byte(nil), cw[:ins]...)
+		recv = append(recv, 1)
+		recv = append(recv, cw[ins:]...)
+		got, _, err := c.DecodeSequential(recv, len(msg), seqParams())
+		if err != nil {
+			t.Fatalf("ins at %d: %v", ins, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("ins at %d: wrong message", ins)
+		}
+	}
+}
+
+func TestSequentialAgreesWithViterbiOverChannel(t *testing.T) {
+	c := Standard()
+	p := seqParams()
+	p.Pd, p.Pi = 0.005, 0.005
+	agree, attempts := 0, 0
+	for trial := 0; trial < 15; trial++ {
+		src := rng.New(uint64(100 + trial))
+		msg := randomBits(src, 64)
+		cw, err := c.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := channel.NewBinaryDI(p.Pd, p.Pi, 0, rng.New(uint64(200+trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		recv, err := ch.Transmit(cw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vit, errV := c.DecodeDrift(recv, len(msg), DriftParams{Pd: p.Pd, Pi: p.Pi, MaxDrift: p.MaxDrift})
+		seq, _, errS := c.DecodeSequential(recv, len(msg), p)
+		if errV != nil || errS != nil {
+			continue
+		}
+		attempts++
+		if bytes.Equal(vit, seq) {
+			agree++
+		}
+	}
+	if attempts == 0 {
+		t.Fatal("no comparable decodes")
+	}
+	if agree < attempts*8/10 {
+		t.Fatalf("sequential and Viterbi agreed on only %d/%d frames", agree, attempts)
+	}
+}
+
+func TestSequentialWorkLimit(t *testing.T) {
+	// A hostile stream with a tiny expansion budget must return the
+	// erasure error rather than loop.
+	c := Standard()
+	src := rng.New(5)
+	msg := randomBits(src, 64)
+	cw, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt heavily.
+	recv := append([]byte(nil), cw...)
+	for i := range recv {
+		if i%3 == 0 {
+			recv[i] ^= 1
+		}
+	}
+	p := seqParams()
+	p.Ps = 0.01
+	p.MaxExpansions = 50
+	if _, _, err := c.DecodeSequential(recv, len(msg), p); err == nil {
+		t.Skip("decoder solved the hostile stream within the budget; nothing to assert")
+	}
+}
+
+func TestSequentialDriftBound(t *testing.T) {
+	c := Standard()
+	src := rng.New(6)
+	msg := randomBits(src, 32)
+	cw, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv := cw[:len(cw)-6]
+	p := seqParams()
+	p.MaxDrift = 2
+	if _, _, err := c.DecodeSequential(recv, len(msg), p); err == nil {
+		t.Fatal("expected drift bound error")
+	}
+}

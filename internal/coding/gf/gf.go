@@ -1,0 +1,187 @@
+// Package gf implements arithmetic over the finite fields GF(2^m),
+// 2 <= m <= 8, via log/antilog tables. It is the algebra under the
+// Reed–Solomon outer codes used with the watermark scheme
+// (internal/coding/watermark) for non-synchronized communication.
+package gf
+
+import "fmt"
+
+// Field is GF(2^m) represented by a primitive polynomial.
+type Field struct {
+	m    int
+	size int      // 2^m
+	exp  []uint32 // exp[i] = α^i, doubled for cheap modular indexing
+	log  []int    // log[a] = i with α^i = a, defined for a != 0
+}
+
+// defaultPoly holds a primitive polynomial per degree (including the
+// x^m term), the conventional choices.
+var defaultPoly = map[int]uint32{
+	2: 0x7,   // x^2 + x + 1
+	3: 0xB,   // x^3 + x + 1
+	4: 0x13,  // x^4 + x + 1
+	5: 0x25,  // x^5 + x^2 + 1
+	6: 0x43,  // x^6 + x + 1
+	7: 0x89,  // x^7 + x^3 + 1
+	8: 0x11D, // x^8 + x^4 + x^3 + x^2 + 1
+}
+
+// NewField constructs GF(2^m) from the given polynomial (with the x^m
+// bit set). It returns an error if m is out of range or the polynomial
+// is not primitive (the generated element α does not have full order).
+func NewField(m int, poly uint32) (*Field, error) {
+	if m < 2 || m > 8 {
+		return nil, fmt.Errorf("gf: field degree %d out of [2,8]", m)
+	}
+	size := 1 << uint(m)
+	if poly < uint32(size) || poly >= uint32(2*size) {
+		return nil, fmt.Errorf("gf: polynomial %#x has wrong degree for GF(2^%d)", poly, m)
+	}
+	f := &Field{
+		m:    m,
+		size: size,
+		exp:  make([]uint32, 2*(size-1)),
+		log:  make([]int, size),
+	}
+	for i := range f.log {
+		f.log[i] = -1
+	}
+	x := uint32(1)
+	for i := 0; i < size-1; i++ {
+		if f.log[x] != -1 {
+			return nil, fmt.Errorf("gf: polynomial %#x is not primitive for GF(2^%d)", poly, m)
+		}
+		f.exp[i] = x
+		f.exp[i+size-1] = x
+		f.log[x] = i
+		x <<= 1
+		if x&uint32(size) != 0 {
+			x ^= poly
+		}
+	}
+	if x != 1 {
+		return nil, fmt.Errorf("gf: polynomial %#x is not primitive for GF(2^%d)", poly, m)
+	}
+	return f, nil
+}
+
+// Default returns GF(2^m) with the conventional primitive polynomial.
+func Default(m int) (*Field, error) {
+	poly, ok := defaultPoly[m]
+	if !ok {
+		return nil, fmt.Errorf("gf: no default polynomial for degree %d", m)
+	}
+	return NewField(m, poly)
+}
+
+// M returns the field degree m.
+func (f *Field) M() int { return f.m }
+
+// Size returns the field size 2^m.
+func (f *Field) Size() int { return f.size }
+
+// valid panics on out-of-field elements; the coding layers validate
+// external inputs, so an invalid element here is a programming error.
+func (f *Field) valid(a uint32) {
+	if a >= uint32(f.size) {
+		panic(fmt.Sprintf("gf: element %d outside GF(2^%d)", a, f.m))
+	}
+}
+
+// Add returns a + b (XOR in characteristic 2); subtraction is identical.
+func (f *Field) Add(a, b uint32) uint32 {
+	f.valid(a)
+	f.valid(b)
+	return a ^ b
+}
+
+// Mul returns a * b.
+func (f *Field) Mul(a, b uint32) uint32 {
+	f.valid(a)
+	f.valid(b)
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return f.exp[f.log[a]+f.log[b]]
+}
+
+// Inv returns the multiplicative inverse of a. It returns an error for
+// a = 0.
+func (f *Field) Inv(a uint32) (uint32, error) {
+	f.valid(a)
+	if a == 0 {
+		return 0, fmt.Errorf("gf: zero has no inverse")
+	}
+	return f.exp[(f.size-1-f.log[a])%(f.size-1)], nil
+}
+
+// Div returns a / b. It returns an error for b = 0.
+func (f *Field) Div(a, b uint32) (uint32, error) {
+	inv, err := f.Inv(b)
+	if err != nil {
+		return 0, err
+	}
+	return f.Mul(a, inv), nil
+}
+
+// Exp returns α^i for any integer i (negative allowed).
+func (f *Field) Exp(i int) uint32 {
+	n := f.size - 1
+	i %= n
+	if i < 0 {
+		i += n
+	}
+	return f.exp[i]
+}
+
+// Log returns the discrete logarithm of a to base α. It returns an
+// error for a = 0.
+func (f *Field) Log(a uint32) (int, error) {
+	f.valid(a)
+	if a == 0 {
+		return 0, fmt.Errorf("gf: zero has no logarithm")
+	}
+	return f.log[a], nil
+}
+
+// Pow returns a^e for e >= 0 (0^0 = 1).
+func (f *Field) Pow(a uint32, e int) uint32 {
+	f.valid(a)
+	if e < 0 {
+		panic("gf: negative exponent")
+	}
+	if e == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	return f.exp[(f.log[a]*e)%(f.size-1)]
+}
+
+// PolyEval evaluates the polynomial p (p[i] is the coefficient of x^i)
+// at x by Horner's rule.
+func (f *Field) PolyEval(p []uint32, x uint32) uint32 {
+	var acc uint32
+	for i := len(p) - 1; i >= 0; i-- {
+		acc = f.Add(f.Mul(acc, x), p[i])
+	}
+	return acc
+}
+
+// PolyMul multiplies two polynomials (coefficients ascending).
+func (f *Field) PolyMul(a, b []uint32) []uint32 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make([]uint32, len(a)+len(b)-1)
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		for j, bj := range b {
+			out[i+j] = f.Add(out[i+j], f.Mul(ai, bj))
+		}
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package gf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustField(t *testing.T, m int) *Field {
+	t.Helper()
+	f, err := Default(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewFieldValidation(t *testing.T) {
+	if _, err := NewField(1, 0x3); err == nil {
+		t.Error("expected degree error")
+	}
+	if _, err := NewField(9, 0x211); err == nil {
+		t.Error("expected degree error")
+	}
+	if _, err := NewField(4, 0x3); err == nil {
+		t.Error("expected wrong-degree polynomial error")
+	}
+	// x^4 + x^3 + x^2 + x + 1 = 0x1F divides x^5-1: not primitive.
+	if _, err := NewField(4, 0x1F); err == nil {
+		t.Error("expected non-primitive polynomial error")
+	}
+}
+
+func TestDefaultFields(t *testing.T) {
+	for m := 2; m <= 8; m++ {
+		f, err := Default(m)
+		if err != nil {
+			t.Fatalf("Default(%d): %v", m, err)
+		}
+		if f.M() != m || f.Size() != 1<<uint(m) {
+			t.Fatalf("Default(%d): M=%d Size=%d", m, f.M(), f.Size())
+		}
+	}
+	if _, err := Default(9); err == nil {
+		t.Error("expected error for unsupported degree")
+	}
+}
+
+func TestGF16KnownProducts(t *testing.T) {
+	// GF(16) with x^4+x+1: known multiplication facts.
+	f := mustField(t, 4)
+	tests := []struct {
+		a, b, want uint32
+	}{
+		{0, 5, 0},
+		{1, 7, 7},
+		{2, 2, 4},
+		{8, 2, 3},  // x^3 * x = x^4 = x + 1
+		{9, 9, 13}, // (x^3+1)^2 = x^6+1 = x^3+x^2+1
+	}
+	for _, tt := range tests {
+		if got := f.Mul(tt.a, tt.b); got != tt.want {
+			t.Errorf("Mul(%d, %d) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	// Exhaustive checks on GF(16); sampled via quick on GF(256).
+	f := mustField(t, 4)
+	n := uint32(f.Size())
+	for a := uint32(0); a < n; a++ {
+		for b := uint32(0); b < n; b++ {
+			if f.Mul(a, b) != f.Mul(b, a) {
+				t.Fatalf("commutativity fails at %d, %d", a, b)
+			}
+			for c := uint32(0); c < n; c++ {
+				if f.Mul(a, f.Add(b, c)) != f.Add(f.Mul(a, b), f.Mul(a, c)) {
+					t.Fatalf("distributivity fails at %d, %d, %d", a, b, c)
+				}
+			}
+		}
+		if f.Mul(a, 1) != a || f.Add(a, 0) != a || f.Add(a, a) != 0 {
+			t.Fatalf("identity axioms fail at %d", a)
+		}
+	}
+}
+
+func TestInverses(t *testing.T) {
+	for _, m := range []int{2, 4, 8} {
+		f := mustField(t, m)
+		if _, err := f.Inv(0); err == nil {
+			t.Error("expected error inverting zero")
+		}
+		for a := uint32(1); a < uint32(f.Size()); a++ {
+			inv, err := f.Inv(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.Mul(a, inv) != 1 {
+				t.Fatalf("GF(2^%d): %d * %d != 1", m, a, inv)
+			}
+		}
+	}
+}
+
+func TestDiv(t *testing.T) {
+	f := mustField(t, 4)
+	for a := uint32(0); a < 16; a++ {
+		for b := uint32(1); b < 16; b++ {
+			q, err := f.Div(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.Mul(q, b) != a {
+				t.Fatalf("Div(%d, %d) = %d fails check", a, b, q)
+			}
+		}
+	}
+	if _, err := f.Div(3, 0); err == nil {
+		t.Error("expected division by zero error")
+	}
+}
+
+func TestExpLogRoundTrip(t *testing.T) {
+	f := mustField(t, 8)
+	for a := uint32(1); a < 256; a++ {
+		l, err := f.Log(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Exp(l) != a {
+			t.Fatalf("Exp(Log(%d)) = %d", a, f.Exp(l))
+		}
+	}
+	if _, err := f.Log(0); err == nil {
+		t.Error("expected error for Log(0)")
+	}
+	// Negative and large exponents wrap.
+	if f.Exp(-1) != f.Exp(254) {
+		t.Error("Exp(-1) should equal Exp(size-2)")
+	}
+	if f.Exp(255) != 1 {
+		t.Error("Exp(order) should be 1")
+	}
+}
+
+func TestPow(t *testing.T) {
+	f := mustField(t, 4)
+	for a := uint32(0); a < 16; a++ {
+		if f.Pow(a, 0) != 1 {
+			t.Fatalf("Pow(%d, 0) != 1", a)
+		}
+		acc := uint32(1)
+		for e := 1; e < 20; e++ {
+			acc = f.Mul(acc, a)
+			if got := f.Pow(a, e); got != acc {
+				t.Fatalf("Pow(%d, %d) = %d, want %d", a, e, got, acc)
+			}
+		}
+	}
+}
+
+func TestPolyEval(t *testing.T) {
+	f := mustField(t, 4)
+	// p(x) = 3 + 2x + x^2 at x=1: 3^2^1 = 0 (xor).
+	p := []uint32{3, 2, 1}
+	if got := f.PolyEval(p, 1); got != 0 {
+		t.Fatalf("PolyEval at 1 = %d, want 0", got)
+	}
+	if got := f.PolyEval(p, 0); got != 3 {
+		t.Fatalf("PolyEval at 0 = %d, want 3", got)
+	}
+	if got := f.PolyEval(nil, 5); got != 0 {
+		t.Fatalf("PolyEval(nil) = %d, want 0", got)
+	}
+}
+
+func TestPolyMul(t *testing.T) {
+	f := mustField(t, 4)
+	// (1 + x)(1 + x) = 1 + x^2 over GF(2^m).
+	got := f.PolyMul([]uint32{1, 1}, []uint32{1, 1})
+	want := []uint32{1, 0, 1}
+	if len(got) != len(want) {
+		t.Fatalf("PolyMul length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PolyMul = %v, want %v", got, want)
+		}
+	}
+	if f.PolyMul(nil, []uint32{1}) != nil {
+		t.Fatal("PolyMul with empty operand should be nil")
+	}
+}
+
+func TestPolyMulEvalHomomorphism(t *testing.T) {
+	f := mustField(t, 8)
+	err := quick.Check(func(rawA, rawB []byte, xRaw byte) bool {
+		if len(rawA) > 8 {
+			rawA = rawA[:8]
+		}
+		if len(rawB) > 8 {
+			rawB = rawB[:8]
+		}
+		if len(rawA) == 0 || len(rawB) == 0 {
+			return true
+		}
+		a := make([]uint32, len(rawA))
+		for i, v := range rawA {
+			a[i] = uint32(v)
+		}
+		b := make([]uint32, len(rawB))
+		for i, v := range rawB {
+			b[i] = uint32(v)
+		}
+		x := uint32(xRaw)
+		lhs := f.PolyEval(f.PolyMul(a, b), x)
+		rhs := f.Mul(f.PolyEval(a, x), f.PolyEval(b, x))
+		return lhs == rhs
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulPanicsOnOutOfField(t *testing.T) {
+	f := mustField(t, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-field element")
+		}
+	}()
+	f.Mul(16, 1)
+}

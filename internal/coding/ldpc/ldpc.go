@@ -1,0 +1,294 @@
+// Package ldpc implements binary low-density parity-check codes with
+// normalized min-sum belief-propagation decoding. Davey and MacKay's
+// watermark construction (the paper's reference [13]) used sparse-graph
+// outer codes; this package provides the binary variant, consuming the
+// soft per-bit information the watermark inner decoder produces when
+// configured with one-bit chunks (see the integration test).
+//
+// The code is a regular Gallager ensemble: a random sparse parity-check
+// matrix with fixed column weight, made systematic-encodable by GF(2)
+// Gaussian elimination over the parity columns.
+package ldpc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Code is a binary LDPC code with an (m x n) parity-check matrix.
+type Code struct {
+	n, k int
+	// checks[i] lists the variable indices participating in check i,
+	// after the encoding permutation has been applied.
+	checks [][]int
+	// varAdj[v] lists the checks adjacent to variable v.
+	varAdj [][]int
+	// encRows[i] holds, for parity bit i (variable k+i), the message
+	// variables XORed to produce it (from the eliminated system).
+	encRows [][]int
+}
+
+// NewRegular builds a regular Gallager code with n variables, n-k
+// checks, and the given column weight (2 or 3 are typical). The
+// construction retries random sparse matrices until one yields a
+// full-rank parity part, so very small or extreme parameters may fail.
+func NewRegular(n, k, colWeight int, seed uint64) (*Code, error) {
+	if n < 4 || k < 1 || k >= n {
+		return nil, fmt.Errorf("ldpc: invalid dimensions (n=%d, k=%d)", n, k)
+	}
+	m := n - k
+	if colWeight < 2 || colWeight > m {
+		return nil, fmt.Errorf("ldpc: column weight %d out of [2, %d]", colWeight, m)
+	}
+	src := rng.New(seed)
+	for attempt := 0; attempt < 50; attempt++ {
+		h := randomSparse(n, m, colWeight, src)
+		code, err := fromMatrix(h, n, k)
+		if err == nil {
+			return code, nil
+		}
+	}
+	return nil, fmt.Errorf("ldpc: no full-rank construction found for (n=%d, k=%d, w=%d)", n, k, colWeight)
+}
+
+// randomSparse builds an m x n binary matrix with colWeight ones per
+// column, spreading ones across checks as evenly as possible.
+func randomSparse(n, m, colWeight int, src *rng.Source) [][]bool {
+	h := make([][]bool, m)
+	for i := range h {
+		h[i] = make([]bool, n)
+	}
+	rowLoad := make([]int, m)
+	for v := 0; v < n; v++ {
+		for w := 0; w < colWeight; w++ {
+			// Pick among the least-loaded rows not already used by v.
+			best := -1
+			for trial := 0; trial < 4*m; trial++ {
+				r := src.Intn(m)
+				if h[r][v] {
+					continue
+				}
+				if best == -1 || rowLoad[r] < rowLoad[best] {
+					best = r
+				}
+			}
+			if best == -1 {
+				continue
+			}
+			h[best][v] = true
+			rowLoad[best]++
+		}
+	}
+	return h
+}
+
+// fromMatrix Gaussian-eliminates the last m columns of h to express
+// each parity bit as an XOR of message bits, permuting columns into
+// [message | parity] form when necessary.
+func fromMatrix(h [][]bool, n, k int) (*Code, error) {
+	m := n - k
+	// Work on a copy; track the column permutation (identity initially:
+	// message bits 0..k-1, parity candidates k..n-1).
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	work := make([][]bool, m)
+	for i := range work {
+		work[i] = append([]bool(nil), h[i]...)
+	}
+	// Eliminate to put an identity into columns k..n-1 (pivoting among
+	// all columns; swap pivot columns into the parity region).
+	for row := 0; row < m; row++ {
+		col := k + row
+		// Find a pivot with a one in this row at column >= k+row, else
+		// swap in any column (message region) holding a one.
+		pivot := -1
+		for c := col; c < n; c++ {
+			if work[row][c] {
+				pivot = c
+				break
+			}
+		}
+		if pivot == -1 {
+			for c := 0; c < k; c++ {
+				if work[row][c] {
+					pivot = c
+					break
+				}
+			}
+		}
+		if pivot == -1 {
+			return nil, fmt.Errorf("ldpc: rank deficiency at row %d", row)
+		}
+		if pivot != col {
+			for r := 0; r < m; r++ {
+				work[r][pivot], work[r][col] = work[r][col], work[r][pivot]
+			}
+			perm[pivot], perm[col] = perm[col], perm[pivot]
+		}
+		for r := 0; r < m; r++ {
+			if r != row && work[r][col] {
+				for c := 0; c < n; c++ {
+					work[r][c] = work[r][c] != work[row][c]
+				}
+			}
+		}
+	}
+	// After elimination, row i reads: parity_i = XOR of message bits
+	// with ones in columns 0..k-1.
+	encRows := make([][]int, m)
+	for i := 0; i < m; i++ {
+		for c := 0; c < k; c++ {
+			if work[i][c] {
+				encRows[i] = append(encRows[i], c)
+			}
+		}
+	}
+	// Express the original checks in permuted variable order for the
+	// decoder: variable v (permuted) is original column perm[v]; we
+	// need the inverse map.
+	inv := make([]int, n)
+	for newPos, orig := range perm {
+		inv[orig] = newPos
+	}
+	checks := make([][]int, m)
+	varAdj := make([][]int, n)
+	for i := 0; i < m; i++ {
+		for c := 0; c < n; c++ {
+			if h[i][c] {
+				v := inv[c]
+				checks[i] = append(checks[i], v)
+				varAdj[v] = append(varAdj[v], i)
+			}
+		}
+	}
+	return &Code{n: n, k: k, checks: checks, varAdj: varAdj, encRows: encRows}, nil
+}
+
+// N returns the block length.
+func (c *Code) N() int { return c.n }
+
+// K returns the message length.
+func (c *Code) K() int { return c.k }
+
+// Rate returns k/n.
+func (c *Code) Rate() float64 { return float64(c.k) / float64(c.n) }
+
+// Encode maps k message bits to an n-bit codeword [message | parity].
+func (c *Code) Encode(msg []byte) ([]byte, error) {
+	if len(msg) != c.k {
+		return nil, fmt.Errorf("ldpc: message length %d, want %d", len(msg), c.k)
+	}
+	cw := make([]byte, c.n)
+	for i, b := range msg {
+		if b > 1 {
+			return nil, fmt.Errorf("ldpc: message bit %d is %d, want 0 or 1", i, b)
+		}
+		cw[i] = b
+	}
+	for i, row := range c.encRows {
+		var p byte
+		for _, v := range row {
+			p ^= msg[v]
+		}
+		cw[c.k+i] = p
+	}
+	return cw, nil
+}
+
+// IsCodeword reports whether the word satisfies every parity check.
+func (c *Code) IsCodeword(cw []byte) bool {
+	if len(cw) != c.n {
+		return false
+	}
+	for _, check := range c.checks {
+		var p byte
+		for _, v := range check {
+			p ^= cw[v] & 1
+		}
+		if p != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Decode runs normalized min-sum belief propagation on the channel
+// log-likelihood ratios (llr[v] > 0 favours bit 0) and returns the
+// message bits. It returns an error if the decoder fails to converge
+// to a codeword within maxIter iterations (0 defaults to 50).
+func (c *Code) Decode(llr []float64, maxIter int) ([]byte, error) {
+	if len(llr) != c.n {
+		return nil, fmt.Errorf("ldpc: LLR length %d, want %d", len(llr), c.n)
+	}
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	const scale = 0.8 // normalized min-sum correction
+
+	// Messages indexed by (check, position within check).
+	c2v := make([][]float64, len(c.checks))
+	for i, check := range c.checks {
+		c2v[i] = make([]float64, len(check))
+	}
+	posterior := append([]float64(nil), llr...)
+	hard := make([]byte, c.n)
+
+	for iter := 0; iter < maxIter; iter++ {
+		// Variable-to-check implicit: v2c = posterior - c2v(prev).
+		for i, check := range c.checks {
+			// Min-sum: for each edge, the product of signs and min of
+			// magnitudes over the other edges.
+			minAbs1, minAbs2 := math.Inf(1), math.Inf(1)
+			minIdx := -1
+			signProd := 1.0
+			for j, v := range check {
+				m := posterior[v] - c2v[i][j]
+				if m < 0 {
+					signProd = -signProd
+				}
+				a := math.Abs(m)
+				if a < minAbs1 {
+					minAbs2 = minAbs1
+					minAbs1 = a
+					minIdx = j
+				} else if a < minAbs2 {
+					minAbs2 = a
+				}
+			}
+			for j, v := range check {
+				m := posterior[v] - c2v[i][j]
+				sign := signProd
+				if m < 0 {
+					sign = -sign
+				}
+				mag := minAbs1
+				if j == minIdx {
+					mag = minAbs2
+				}
+				c2v[i][j] = scale * sign * mag
+			}
+		}
+		// Update posteriors.
+		copy(posterior, llr)
+		for i, check := range c.checks {
+			for j, v := range check {
+				posterior[v] += c2v[i][j]
+			}
+		}
+		for v := range hard {
+			if posterior[v] < 0 {
+				hard[v] = 1
+			} else {
+				hard[v] = 0
+			}
+		}
+		if c.IsCodeword(hard) {
+			return append([]byte(nil), hard[:c.k]...), nil
+		}
+	}
+	return nil, fmt.Errorf("ldpc: no codeword after %d iterations", maxIter)
+}

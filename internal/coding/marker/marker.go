@@ -1,0 +1,173 @@
+// Package marker implements marker (comma) codes for channels with
+// synchronization errors: the payload is framed into fixed-size blocks,
+// each preceded by a known marker pattern, and the decoder re-acquires
+// block boundaries by searching for the markers within a drift window.
+// Blocks whose marker cannot be found are declared erasures, which an
+// outer Reed–Solomon code can fill in — the classic low-tech
+// alternative to watermark codes for the paper's Section 4.1 setting.
+package marker
+
+import (
+	"fmt"
+)
+
+// DefaultMarker returns a 7-bit Barker-like pattern with a sharp
+// autocorrelation peak, a good sync word.
+func DefaultMarker() []byte { return []byte{1, 1, 1, 0, 0, 1, 0} }
+
+// Code frames blocks of BlockLen payload bits behind a marker.
+type Code struct {
+	marker    []byte
+	blockLen  int
+	maxDrift  int
+	maxErrors int
+}
+
+// New returns a marker code. maxDrift bounds how far (in bits) the
+// decoder searches for each marker around its nominal position;
+// maxErrors is the Hamming slack allowed when matching the marker.
+func New(markerBits []byte, blockLen, maxDrift, maxErrors int) (*Code, error) {
+	if len(markerBits) < 3 {
+		return nil, fmt.Errorf("marker: marker length %d too short (need >= 3)", len(markerBits))
+	}
+	for i, b := range markerBits {
+		if b > 1 {
+			return nil, fmt.Errorf("marker: marker bit %d is %d, want 0 or 1", i, b)
+		}
+	}
+	if blockLen < 1 {
+		return nil, fmt.Errorf("marker: block length %d, want >= 1", blockLen)
+	}
+	if maxDrift < 0 {
+		return nil, fmt.Errorf("marker: negative drift window %d", maxDrift)
+	}
+	if maxErrors < 0 || maxErrors >= len(markerBits) {
+		return nil, fmt.Errorf("marker: marker error budget %d out of [0, %d)", maxErrors, len(markerBits))
+	}
+	return &Code{
+		marker:    append([]byte(nil), markerBits...),
+		blockLen:  blockLen,
+		maxDrift:  maxDrift,
+		maxErrors: maxErrors,
+	}, nil
+}
+
+// BlockLen returns the payload bits per block.
+func (c *Code) BlockLen() int { return c.blockLen }
+
+// FrameLen returns the transmitted bits per block (marker + payload).
+func (c *Code) FrameLen() int { return len(c.marker) + c.blockLen }
+
+// Overhead returns the fractional rate loss of the framing.
+func (c *Code) Overhead() float64 {
+	return float64(len(c.marker)) / float64(c.FrameLen())
+}
+
+// Encode frames the blocks. Every block must have exactly BlockLen
+// bits with binary elements.
+func (c *Code) Encode(blocks [][]byte) ([]byte, error) {
+	out := make([]byte, 0, len(blocks)*c.FrameLen())
+	for i, blk := range blocks {
+		if len(blk) != c.blockLen {
+			return nil, fmt.Errorf("marker: block %d has %d bits, want %d", i, len(blk), c.blockLen)
+		}
+		for j, b := range blk {
+			if b > 1 {
+				return nil, fmt.Errorf("marker: block %d bit %d is %d, want 0 or 1", i, j, b)
+			}
+		}
+		out = append(out, c.marker...)
+		out = append(out, blk...)
+	}
+	return out, nil
+}
+
+// Block is one decoded payload block.
+type Block struct {
+	// Bits holds BlockLen payload bits (zero-filled when Erased).
+	Bits []byte
+	// Erased reports that the block's marker could not be acquired and
+	// Bits are unreliable — treat the block as an erasure.
+	Erased bool
+}
+
+// Decode re-frames a received bit stream into numBlocks blocks.
+func (c *Code) Decode(recv []byte, numBlocks int) ([]Block, error) {
+	if numBlocks < 0 {
+		return nil, fmt.Errorf("marker: negative block count %d", numBlocks)
+	}
+	for i, b := range recv {
+		if b > 1 {
+			return nil, fmt.Errorf("marker: received bit %d is %d, want 0 or 1", i, b)
+		}
+	}
+	blocks := make([]Block, numBlocks)
+	pos := 0 // nominal start of the next frame in recv
+	for i := range blocks {
+		start, ok := c.findMarker(recv, pos)
+		if !ok {
+			blocks[i] = Block{Bits: make([]byte, c.blockLen), Erased: true}
+			pos += c.FrameLen()
+			continue
+		}
+		payload := start + len(c.marker)
+		bits := make([]byte, c.blockLen)
+		n := copy(bits, safeSlice(recv, payload, payload+c.blockLen))
+		blocks[i] = Block{Bits: bits, Erased: n < c.blockLen}
+		pos = payload + c.blockLen
+	}
+	return blocks, nil
+}
+
+// findMarker searches for the marker around the nominal position,
+// preferring the smallest drift, then the fewest bit errors.
+func (c *Code) findMarker(recv []byte, nominal int) (int, bool) {
+	bestPos, bestErrs := -1, c.maxErrors+1
+	for d := 0; d <= c.maxDrift; d++ {
+		for _, pos := range []int{nominal + d, nominal - d} {
+			if pos < 0 || pos+len(c.marker) > len(recv) {
+				continue
+			}
+			errs := 0
+			for j, mb := range c.marker {
+				if recv[pos+j]&1 != mb {
+					errs++
+					if errs > c.maxErrors {
+						break
+					}
+				}
+			}
+			if errs < bestErrs {
+				bestPos, bestErrs = pos, errs
+				if errs == 0 {
+					return bestPos, true
+				}
+			}
+			if d == 0 {
+				break // +0 and -0 are the same offset
+			}
+		}
+		if bestPos != -1 {
+			// A hit at the smallest drift wins even with some errors.
+			return bestPos, true
+		}
+	}
+	return 0, false
+}
+
+// safeSlice returns recv[from:to] clipped to bounds.
+func safeSlice(recv []byte, from, to int) []byte {
+	if from < 0 {
+		from = 0
+	}
+	if from > len(recv) {
+		from = len(recv)
+	}
+	if to > len(recv) {
+		to = len(recv)
+	}
+	if to < from {
+		to = from
+	}
+	return recv[from:to]
+}

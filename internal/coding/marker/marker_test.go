@@ -1,0 +1,239 @@
+package marker
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/rng"
+)
+
+func mustCode(t *testing.T, blockLen, maxDrift, maxErrors int) *Code {
+	t.Helper()
+	c, err := New(DefaultMarker(), blockLen, maxDrift, maxErrors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func randomBlocks(src *rng.Source, count, blockLen int) [][]byte {
+	blocks := make([][]byte, count)
+	for i := range blocks {
+		blk := make([]byte, blockLen)
+		for j := range blk {
+			blk[j] = src.Bit()
+		}
+		blocks[i] = blk
+	}
+	return blocks
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]byte{1, 0}, 8, 2, 0); err == nil {
+		t.Error("expected short marker error")
+	}
+	if _, err := New([]byte{1, 0, 2}, 8, 2, 0); err == nil {
+		t.Error("expected marker bit error")
+	}
+	if _, err := New(DefaultMarker(), 0, 2, 0); err == nil {
+		t.Error("expected block length error")
+	}
+	if _, err := New(DefaultMarker(), 8, -1, 0); err == nil {
+		t.Error("expected drift error")
+	}
+	if _, err := New(DefaultMarker(), 8, 2, 7); err == nil {
+		t.Error("expected error budget error")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	c := mustCode(t, 13, 2, 1)
+	if c.BlockLen() != 13 || c.FrameLen() != 20 {
+		t.Fatalf("BlockLen=%d FrameLen=%d", c.BlockLen(), c.FrameLen())
+	}
+	if got := c.Overhead(); got != 7.0/20 {
+		t.Fatalf("Overhead = %v", got)
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	c := mustCode(t, 4, 2, 1)
+	if _, err := c.Encode([][]byte{{1, 0}}); err == nil {
+		t.Error("expected block length error")
+	}
+	if _, err := c.Encode([][]byte{{1, 0, 2, 0}}); err == nil {
+		t.Error("expected bit error")
+	}
+}
+
+func TestRoundTripNoiseless(t *testing.T) {
+	c := mustCode(t, 16, 3, 1)
+	src := rng.New(1)
+	blocks := randomBlocks(src, 20, 16)
+	stream, err := c.Encode(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := c.Decode(stream, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, blk := range decoded {
+		if blk.Erased || !bytes.Equal(blk.Bits, blocks[i]) {
+			t.Fatalf("block %d mismatch (erased=%v)", i, blk.Erased)
+		}
+	}
+}
+
+func TestResyncAfterSingleDeletion(t *testing.T) {
+	c := mustCode(t, 16, 3, 1)
+	src := rng.New(2)
+	blocks := randomBlocks(src, 10, 16)
+	stream, err := c.Encode(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete one bit inside block 2's payload.
+	del := 2*c.FrameLen() + len(DefaultMarker()) + 5
+	mangled := append(append([]byte(nil), stream[:del]...), stream[del+1:]...)
+	decoded, err := c.Decode(mangled, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blocks before the deletion are untouched; blocks after must have
+	// re-synced on their markers.
+	for i := 0; i < 2; i++ {
+		if decoded[i].Erased || !bytes.Equal(decoded[i].Bits, blocks[i]) {
+			t.Fatalf("pre-deletion block %d corrupted", i)
+		}
+	}
+	for i := 3; i < 10; i++ {
+		if decoded[i].Erased || !bytes.Equal(decoded[i].Bits, blocks[i]) {
+			t.Fatalf("post-deletion block %d failed to resync", i)
+		}
+	}
+}
+
+func TestResyncAfterSingleInsertion(t *testing.T) {
+	c := mustCode(t, 16, 3, 1)
+	src := rng.New(3)
+	blocks := randomBlocks(src, 10, 16)
+	stream, err := c.Encode(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := 4*c.FrameLen() + len(DefaultMarker()) + 2
+	mangled := append([]byte(nil), stream[:ins]...)
+	mangled = append(mangled, 1)
+	mangled = append(mangled, stream[ins:]...)
+	decoded, err := c.Decode(mangled, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 5; i < 10; i++ {
+		if decoded[i].Erased || !bytes.Equal(decoded[i].Bits, blocks[i]) {
+			t.Fatalf("post-insertion block %d failed to resync", i)
+		}
+	}
+}
+
+func TestLowRateChannelMostBlocksSurvive(t *testing.T) {
+	// Integration: over a mild deletion-insertion channel the decoder
+	// should recover a clear majority of blocks intact or erased —
+	// never panic, and keep block count.
+	c := mustCode(t, 16, 4, 1)
+	src := rng.New(4)
+	blocks := randomBlocks(src, 200, 16)
+	stream, err := c.Encode(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := channel.NewBinaryDI(0.002, 0.002, 0, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv, err := ch.Transmit(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := c.Decode(recv, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 200 {
+		t.Fatalf("decoded %d blocks, want 200", len(decoded))
+	}
+	good := 0
+	for i, blk := range decoded {
+		if !blk.Erased && bytes.Equal(blk.Bits, blocks[i]) {
+			good++
+		}
+	}
+	if good < 120 {
+		t.Fatalf("only %d/200 blocks recovered over mild channel", good)
+	}
+}
+
+func TestDecodeTruncatedStream(t *testing.T) {
+	c := mustCode(t, 8, 2, 1)
+	src := rng.New(6)
+	blocks := randomBlocks(src, 5, 8)
+	stream, err := c.Encode(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the stream mid-way: later blocks become erasures, no panic.
+	decoded, err := c.Decode(stream[:len(stream)/2], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 5 {
+		t.Fatalf("decoded %d blocks, want 5", len(decoded))
+	}
+	if !decoded[4].Erased {
+		t.Fatal("final block should be erased on truncated input")
+	}
+}
+
+func TestDecodeValidation(t *testing.T) {
+	c := mustCode(t, 8, 2, 1)
+	if _, err := c.Decode([]byte{0, 1}, -1); err == nil {
+		t.Error("expected block count error")
+	}
+	if _, err := c.Decode([]byte{0, 2}, 1); err == nil {
+		t.Error("expected bit error")
+	}
+}
+
+func TestDecodeEmptyStream(t *testing.T) {
+	c := mustCode(t, 8, 2, 1)
+	decoded, err := c.Decode(nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, blk := range decoded {
+		if !blk.Erased {
+			t.Fatalf("block %d not erased on empty stream", i)
+		}
+	}
+}
+
+func TestMarkerWithSubstitutionTolerance(t *testing.T) {
+	// A single flipped marker bit must still sync when maxErrors = 1.
+	c := mustCode(t, 16, 2, 1)
+	src := rng.New(7)
+	blocks := randomBlocks(src, 3, 16)
+	stream, err := c.Encode(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream[c.FrameLen()] ^= 1 // first bit of block 1's marker
+	decoded, err := c.Decode(stream, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded[1].Erased || !bytes.Equal(decoded[1].Bits, blocks[1]) {
+		t.Fatal("marker substitution broke sync despite error budget")
+	}
+}

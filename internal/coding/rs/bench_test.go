@@ -1,0 +1,78 @@
+package rs
+
+import (
+	"testing"
+
+	"repro/internal/coding/gf"
+	"repro/internal/rng"
+)
+
+func benchCode(b *testing.B, m, n, k int) *Code {
+	b.Helper()
+	field, err := gf.Default(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	code, err := New(field, n, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return code
+}
+
+func BenchmarkEncode255_239(b *testing.B) {
+	code := benchCode(b, 8, 255, 239)
+	src := rng.New(1)
+	msg := make([]uint32, 239)
+	for i := range msg {
+		msg[i] = uint32(src.Intn(256))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := code.Encode(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode255_239_8Errors(b *testing.B) {
+	code := benchCode(b, 8, 255, 239)
+	src := rng.New(2)
+	msg := make([]uint32, 239)
+	for i := range msg {
+		msg[i] = uint32(src.Intn(256))
+	}
+	cw, err := code.Encode(msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recv := append([]uint32(nil), cw...)
+	for _, pos := range src.Perm(255)[:8] {
+		recv[pos] ^= uint32(1 + src.Intn(255))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := code.Decode(recv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode15_11Clean(b *testing.B) {
+	code := benchCode(b, 4, 15, 11)
+	src := rng.New(3)
+	msg := make([]uint32, 11)
+	for i := range msg {
+		msg[i] = uint32(src.Intn(16))
+	}
+	cw, err := code.Encode(msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := code.Decode(cw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package rs
+
+import (
+	"testing"
+
+	"repro/internal/coding/gf"
+)
+
+// FuzzDecode asserts that the decoder never panics and never returns a
+// non-codeword correction for arbitrary received words.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14})
+	f.Add(make([]byte, 15))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		field, err := gf.Default(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, err := New(field, 15, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(raw) < 15 {
+			return
+		}
+		recv := make([]uint32, 15)
+		for i := range recv {
+			recv[i] = uint32(raw[i]) & 0xF
+		}
+		msg, err := code.Decode(recv)
+		if err != nil {
+			return // uncorrectable is a legal outcome
+		}
+		// Any accepted decode must re-encode to a zero-syndrome word.
+		cw, err := code.Encode(msg)
+		if err != nil {
+			t.Fatalf("decoded message failed to re-encode: %v", err)
+		}
+		syn, err := code.Syndromes(cw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range syn {
+			if s != 0 {
+				t.Fatal("decode returned a non-codeword")
+			}
+		}
+	})
+}
+
+// FuzzDecodeErasures exercises the erasure path with arbitrary flags.
+func FuzzDecodeErasures(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}, uint8(0x05))
+	f.Fuzz(func(t *testing.T, raw []byte, mask uint8) {
+		field, err := gf.Default(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, err := New(field, 15, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(raw) < 15 {
+			return
+		}
+		recv := make([]uint32, 15)
+		for i := range recv {
+			recv[i] = uint32(raw[i]) & 0xF
+		}
+		var erasures []int
+		for i := 0; i < 8 && len(erasures) < 4; i++ {
+			if mask>>uint(i)&1 == 1 {
+				erasures = append(erasures, i)
+			}
+		}
+		// Must not panic regardless of outcome.
+		_, _ = code.DecodeErasures(recv, erasures)
+	})
+}

@@ -1,0 +1,310 @@
+// Package rs implements systematic Reed–Solomon codes over GF(2^m) with
+// a Berlekamp–Massey errors-and-erasures decoder. In this repository RS
+// serves as the outer code above the watermark inner code
+// (internal/coding/watermark), cleaning up the residual symbol errors
+// the drift decoder leaves — the role non-binary LDPC codes play in
+// Davey–MacKay's construction (the paper's reference [13]).
+package rs
+
+import (
+	"fmt"
+
+	"repro/internal/coding/gf"
+)
+
+// Code is an (n, k) Reed–Solomon code over a field, correcting up to
+// t = (n-k)/2 symbol errors, or more generally 2*errors + erasures <= n-k.
+type Code struct {
+	f   *gf.Field
+	n   int
+	k   int
+	gen []uint32 // generator polynomial, ascending, degree n-k
+}
+
+// New returns an (n, k) code over the field. n must not exceed the
+// field's symbol range (2^m - 1) and 0 < k < n.
+func New(f *gf.Field, n, k int) (*Code, error) {
+	if f == nil {
+		return nil, fmt.Errorf("rs: nil field")
+	}
+	if n < 2 || n > f.Size()-1 {
+		return nil, fmt.Errorf("rs: block length %d out of [2, %d]", n, f.Size()-1)
+	}
+	if k < 1 || k >= n {
+		return nil, fmt.Errorf("rs: dimension %d out of [1, %d)", k, n)
+	}
+	// g(x) = prod_{j=1}^{n-k} (x - α^j), built ascending.
+	gen := []uint32{1}
+	for j := 1; j <= n-k; j++ {
+		gen = f.PolyMul(gen, []uint32{f.Exp(j), 1})
+	}
+	return &Code{f: f, n: n, k: k, gen: gen}, nil
+}
+
+// N returns the block length.
+func (c *Code) N() int { return c.n }
+
+// K returns the message length.
+func (c *Code) K() int { return c.k }
+
+// T returns the guaranteed error-correction radius (n-k)/2.
+func (c *Code) T() int { return (c.n - c.k) / 2 }
+
+// Encode produces the systematic codeword [msg || parity]. Symbols must
+// be field elements; msg must have length k.
+func (c *Code) Encode(msg []uint32) ([]uint32, error) {
+	if len(msg) != c.k {
+		return nil, fmt.Errorf("rs: message length %d, want %d", len(msg), c.k)
+	}
+	for i, s := range msg {
+		if s >= uint32(c.f.Size()) {
+			return nil, fmt.Errorf("rs: message symbol %d (=%d) outside GF(2^%d)", i, s, c.f.M())
+		}
+	}
+	// Long division of msg(x)*x^(n-k) by g(x); cw[i] holds the
+	// coefficient of x^(n-1-i).
+	cw := make([]uint32, c.n)
+	copy(cw, msg)
+	rem := make([]uint32, c.n)
+	copy(rem, msg)
+	deg := c.n - c.k
+	for i := 0; i < c.k; i++ {
+		coef := rem[i]
+		if coef == 0 {
+			continue
+		}
+		// Subtract coef * g(x) * x^(shift). gen is ascending with
+		// leading coefficient gen[deg] = 1 aligned at rem[i].
+		for j := 0; j <= deg; j++ {
+			rem[i+j] = c.f.Add(rem[i+j], c.f.Mul(coef, c.gen[deg-j]))
+		}
+	}
+	copy(cw[c.k:], rem[c.k:])
+	return cw, nil
+}
+
+// Syndromes returns the 2t syndromes of the received word; all zero
+// means the word is a codeword.
+func (c *Code) Syndromes(recv []uint32) ([]uint32, error) {
+	if len(recv) != c.n {
+		return nil, fmt.Errorf("rs: received length %d, want %d", len(recv), c.n)
+	}
+	for i, s := range recv {
+		if s >= uint32(c.f.Size()) {
+			return nil, fmt.Errorf("rs: received symbol %d (=%d) outside GF(2^%d)", i, s, c.f.M())
+		}
+	}
+	syn := make([]uint32, c.n-c.k)
+	for j := 1; j <= c.n-c.k; j++ {
+		x := c.f.Exp(j)
+		var acc uint32
+		for _, s := range recv {
+			acc = c.f.Add(c.f.Mul(acc, x), s)
+		}
+		syn[j-1] = acc
+	}
+	return syn, nil
+}
+
+// Decode corrects up to T() symbol errors in place of unknown location
+// and returns the recovered message. It returns an error when the word
+// is uncorrectable.
+func (c *Code) Decode(recv []uint32) ([]uint32, error) {
+	return c.DecodeErasures(recv, nil)
+}
+
+// DecodeErasures corrects a received word given known erasure
+// positions, succeeding whenever 2*errors + erasures <= n-k. Erasure
+// positions index into recv (whose symbols there may hold anything
+// in-field). It returns the recovered message or an error when
+// uncorrectable.
+func (c *Code) DecodeErasures(recv []uint32, erasures []int) ([]uint32, error) {
+	syn, err := c.Syndromes(recv)
+	if err != nil {
+		return nil, err
+	}
+	if len(erasures) > c.n-c.k {
+		return nil, fmt.Errorf("rs: %d erasures exceed redundancy %d", len(erasures), c.n-c.k)
+	}
+	seen := make(map[int]bool, len(erasures))
+	for _, e := range erasures {
+		if e < 0 || e >= c.n {
+			return nil, fmt.Errorf("rs: erasure position %d out of range", e)
+		}
+		if seen[e] {
+			return nil, fmt.Errorf("rs: duplicate erasure position %d", e)
+		}
+		seen[e] = true
+	}
+	allZero := true
+	for _, s := range syn {
+		if s != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		// Already a codeword (erasures, if any, hold correct values).
+		return append([]uint32(nil), recv[:c.k]...), nil
+	}
+
+	f := c.f
+	nk := c.n - c.k
+
+	// Erasure locator Γ(x) = prod (1 - X_e x), ascending coefficients.
+	gamma := []uint32{1}
+	for _, e := range erasures {
+		x := f.Exp(c.n - 1 - e)
+		gamma = f.PolyMul(gamma, []uint32{1, x})
+	}
+	// Modified syndromes Ξ(x) = S(x)·Γ(x) mod x^{2t}.
+	spoly := append([]uint32(nil), syn...)
+	xi := polyMulMod(f, spoly, gamma, nk)
+
+	// Berlekamp–Massey on the modified syndromes.
+	lambda := berlekampMassey(f, xi, len(erasures))
+
+	// Combined locator Ψ = Λ·Γ and evaluator Ω = S·Ψ mod x^{2t}.
+	psi := f.PolyMul(lambda, gamma)
+	omega := polyMulMod(f, spoly, psi, nk)
+
+	// Chien search over all positions.
+	var positions []int
+	for pos := 0; pos < c.n; pos++ {
+		xinv := f.Exp(-(c.n - 1 - pos))
+		if f.PolyEval(psi, xinv) == 0 {
+			positions = append(positions, pos)
+		}
+	}
+	if len(positions) != polyDeg(psi) {
+		return nil, fmt.Errorf("rs: locator degree %d but %d roots found (uncorrectable)",
+			polyDeg(psi), len(positions))
+	}
+
+	// Forney: e = Ω(X^{-1}) / Ψ'(X^{-1}) for the b=1 convention.
+	corrected := append([]uint32(nil), recv...)
+	dpsi := polyDeriv(f, psi)
+	for _, pos := range positions {
+		xinv := f.Exp(-(c.n - 1 - pos))
+		den := f.PolyEval(dpsi, xinv)
+		if den == 0 {
+			return nil, fmt.Errorf("rs: Forney denominator vanished (uncorrectable)")
+		}
+		mag, err := f.Div(f.PolyEval(omega, xinv), den)
+		if err != nil {
+			return nil, err
+		}
+		corrected[pos] = f.Add(corrected[pos], mag)
+	}
+
+	// Verify the correction actually produced a codeword.
+	check, err := c.Syndromes(corrected)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range check {
+		if s != 0 {
+			return nil, fmt.Errorf("rs: correction failed verification (uncorrectable)")
+		}
+	}
+	return corrected[:c.k], nil
+}
+
+// berlekampMassey finds the minimal error-locator polynomial for the
+// (possibly erasure-modified) syndromes. rho is the erasure count; the
+// search allows up to (len(syn)-rho)/2 errors.
+func berlekampMassey(f *gf.Field, syn []uint32, rho int) []uint32 {
+	lambda := []uint32{1}
+	prev := []uint32{1}
+	l := 0
+	m := 1
+	b := uint32(1)
+	for i := rho; i < len(syn); i++ {
+		// Discrepancy δ = syn[i] + Σ_{j=1..l} λ[j]·syn[i-j].
+		delta := syn[i]
+		for j := 1; j <= l && j < len(lambda); j++ {
+			if i-j >= 0 {
+				delta = f.Add(delta, f.Mul(lambda[j], syn[i-j]))
+			}
+		}
+		if delta == 0 {
+			m++
+			continue
+		}
+		scale, err := f.Div(delta, b)
+		if err != nil {
+			// b is never zero by construction.
+			panic("rs: zero reference discrepancy")
+		}
+		// candidate = λ - scale · x^m · prev
+		candidate := make([]uint32, maxInt(len(lambda), len(prev)+m))
+		copy(candidate, lambda)
+		for j, pv := range prev {
+			candidate[j+m] = f.Add(candidate[j+m], f.Mul(scale, pv))
+		}
+		if 2*l <= i-rho {
+			prev = lambda
+			l = i - rho + 1 - l
+			b = delta
+			m = 1
+		} else {
+			m++
+		}
+		lambda = candidate
+	}
+	return trimPoly(lambda)
+}
+
+// polyMulMod returns (a*b) mod x^deg with ascending coefficients.
+func polyMulMod(f *gf.Field, a, b []uint32, deg int) []uint32 {
+	out := make([]uint32, deg)
+	for i, ai := range a {
+		if ai == 0 || i >= deg {
+			continue
+		}
+		for j, bj := range b {
+			if i+j >= deg {
+				break
+			}
+			out[i+j] = f.Add(out[i+j], f.Mul(ai, bj))
+		}
+	}
+	return out
+}
+
+// polyDeriv returns the formal derivative (char 2: odd terms survive).
+func polyDeriv(f *gf.Field, p []uint32) []uint32 {
+	if len(p) < 2 {
+		return []uint32{0}
+	}
+	out := make([]uint32, len(p)-1)
+	for i := 1; i < len(p); i++ {
+		if i%2 == 1 {
+			out[i-1] = p[i]
+		}
+	}
+	_ = f
+	return out
+}
+
+// polyDeg returns the degree of p ignoring trailing zeros.
+func polyDeg(p []uint32) int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] != 0 {
+			return i
+		}
+	}
+	return 0
+}
+
+// trimPoly drops trailing zero coefficients.
+func trimPoly(p []uint32) []uint32 {
+	return p[:polyDeg(p)+1]
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,269 @@
+package rs
+
+import (
+	"testing"
+
+	"repro/internal/coding/gf"
+	"repro/internal/rng"
+)
+
+func mustCode(t *testing.T, m, n, k int) *Code {
+	t.Helper()
+	f, err := gf.Default(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(f, n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func randomMsg(src *rng.Source, k, m int) []uint32 {
+	msg := make([]uint32, k)
+	for i := range msg {
+		msg[i] = uint32(src.Intn(1 << uint(m)))
+	}
+	return msg
+}
+
+func TestNewValidation(t *testing.T) {
+	f, err := gf.Default(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(nil, 15, 11); err == nil {
+		t.Error("expected nil field error")
+	}
+	if _, err := New(f, 16, 11); err == nil {
+		t.Error("expected block length error (n > 2^m - 1)")
+	}
+	if _, err := New(f, 15, 15); err == nil {
+		t.Error("expected dimension error")
+	}
+	if _, err := New(f, 15, 0); err == nil {
+		t.Error("expected dimension error")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	c := mustCode(t, 4, 15, 11)
+	if c.N() != 15 || c.K() != 11 || c.T() != 2 {
+		t.Fatalf("N=%d K=%d T=%d", c.N(), c.K(), c.T())
+	}
+}
+
+func TestEncodeIsSystematicCodeword(t *testing.T) {
+	c := mustCode(t, 4, 15, 11)
+	src := rng.New(1)
+	for trial := 0; trial < 50; trial++ {
+		msg := randomMsg(src, 11, 4)
+		cw, err := c.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range msg {
+			if cw[i] != msg[i] {
+				t.Fatal("encoding is not systematic")
+			}
+		}
+		syn, err := c.Syndromes(cw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range syn {
+			if s != 0 {
+				t.Fatalf("codeword has non-zero syndrome %v", syn)
+			}
+		}
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	c := mustCode(t, 4, 15, 11)
+	if _, err := c.Encode(make([]uint32, 5)); err == nil {
+		t.Error("expected length error")
+	}
+	bad := make([]uint32, 11)
+	bad[3] = 16
+	if _, err := c.Encode(bad); err == nil {
+		t.Error("expected alphabet error")
+	}
+}
+
+func TestSyndromesValidation(t *testing.T) {
+	c := mustCode(t, 4, 15, 11)
+	if _, err := c.Syndromes(make([]uint32, 3)); err == nil {
+		t.Error("expected length error")
+	}
+	bad := make([]uint32, 15)
+	bad[0] = 99
+	if _, err := c.Syndromes(bad); err == nil {
+		t.Error("expected alphabet error")
+	}
+}
+
+func TestDecodeNoErrors(t *testing.T) {
+	c := mustCode(t, 4, 15, 11)
+	src := rng.New(2)
+	msg := randomMsg(src, 11, 4)
+	cw, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decode(cw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqual(t, got, msg)
+}
+
+func TestDecodeCorrectsUpToT(t *testing.T) {
+	// Exhaustive over error weights for several codes.
+	for _, tc := range []struct{ m, n, k int }{
+		{4, 15, 11}, // t = 2
+		{4, 15, 7},  // t = 4
+		{8, 255, 239},
+	} {
+		c := mustCode(t, tc.m, tc.n, tc.k)
+		src := rng.New(uint64(tc.n))
+		for trial := 0; trial < 30; trial++ {
+			msg := randomMsg(src, tc.k, tc.m)
+			cw, err := c.Encode(msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			weight := 1 + src.Intn(c.T())
+			recv := append([]uint32(nil), cw...)
+			for _, pos := range src.Perm(tc.n)[:weight] {
+				delta := 1 + src.Intn((1<<uint(tc.m))-1)
+				recv[pos] ^= uint32(delta)
+			}
+			got, err := c.Decode(recv)
+			if err != nil {
+				t.Fatalf("(%d,%d) weight %d: %v", tc.n, tc.k, weight, err)
+			}
+			assertEqual(t, got, msg)
+		}
+	}
+}
+
+func TestDecodeErasuresFullRedundancy(t *testing.T) {
+	// n-k erasures with no errors must be correctable.
+	c := mustCode(t, 4, 15, 11)
+	src := rng.New(5)
+	msg := randomMsg(src, 11, 4)
+	cw, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv := append([]uint32(nil), cw...)
+	erasures := src.Perm(15)[:4]
+	for _, pos := range erasures {
+		recv[pos] = uint32(src.Intn(16))
+	}
+	got, err := c.DecodeErasures(recv, erasures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqual(t, got, msg)
+}
+
+func TestDecodeErrorsAndErasuresCombined(t *testing.T) {
+	// 2*errors + erasures <= n-k: one error plus two erasures with
+	// n-k = 4 must decode.
+	c := mustCode(t, 4, 15, 11)
+	src := rng.New(6)
+	for trial := 0; trial < 30; trial++ {
+		msg := randomMsg(src, 11, 4)
+		cw, err := c.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recv := append([]uint32(nil), cw...)
+		perm := src.Perm(15)
+		erasures := perm[:2]
+		errPos := perm[2]
+		for _, pos := range erasures {
+			recv[pos] = uint32(src.Intn(16))
+		}
+		recv[errPos] ^= uint32(1 + src.Intn(15))
+		got, err := c.DecodeErasures(recv, erasures)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		assertEqual(t, got, msg)
+	}
+}
+
+func TestDecodeBeyondRadiusFailsCleanly(t *testing.T) {
+	// Far beyond the radius the decoder must either report an error or
+	// return some message; it must never panic. (Within-distance
+	// miscorrection onto another codeword is legitimate RS behaviour.)
+	c := mustCode(t, 4, 15, 11)
+	src := rng.New(7)
+	failures := 0
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		msg := randomMsg(src, 11, 4)
+		cw, err := c.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recv := append([]uint32(nil), cw...)
+		for _, pos := range src.Perm(15)[:9] {
+			recv[pos] ^= uint32(1 + src.Intn(15))
+		}
+		if _, err := c.Decode(recv); err != nil {
+			failures++
+		}
+	}
+	if failures == 0 {
+		t.Error("9 errors in a t=2 code never reported uncorrectable across 50 trials")
+	}
+}
+
+func TestDecodeErasuresValidation(t *testing.T) {
+	c := mustCode(t, 4, 15, 11)
+	cw := make([]uint32, 15)
+	if _, err := c.DecodeErasures(cw, []int{0, 1, 2, 3, 4}); err == nil {
+		t.Error("expected too-many-erasures error")
+	}
+	if _, err := c.DecodeErasures(cw, []int{-1}); err == nil {
+		t.Error("expected out-of-range erasure error")
+	}
+	if _, err := c.DecodeErasures(cw, []int{1, 1}); err == nil {
+		t.Error("expected duplicate erasure error")
+	}
+}
+
+func TestDecodeReturnsCopy(t *testing.T) {
+	c := mustCode(t, 4, 15, 11)
+	src := rng.New(8)
+	msg := randomMsg(src, 11, 4)
+	cw, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decode(cw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got[0] ^= 1
+	if cw[0] == got[0] && msg[0] == got[0] {
+		t.Fatal("decode aliased its input")
+	}
+}
+
+func assertEqual(t *testing.T, got, want []uint32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("symbol %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+}

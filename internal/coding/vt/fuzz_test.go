@@ -1,0 +1,69 @@
+package vt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode asserts the decoder's total robustness contract: for any
+// byte string interpreted as a bit sequence, Decode either returns a
+// valid message or an error — never a panic — and when the input is a
+// true single-deletion corruption of a codeword, it round-trips.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{1, 0, 1, 1, 0, 1, 0, 0, 1})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		code, err := New(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits := make([]byte, len(raw))
+		for i, b := range raw {
+			bits[i] = b & 1
+		}
+		msg, err := code.Decode(bits)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// A successful decode must re-encode to a codeword compatible
+		// with the received length class.
+		cw, err := code.Encode(msg)
+		if err != nil {
+			t.Fatalf("decoded message failed to re-encode: %v", err)
+		}
+		if !code.IsCodeword(cw) {
+			t.Fatal("re-encoded message is not a codeword")
+		}
+	})
+}
+
+// FuzzDeletionRoundTrip checks the correction guarantee itself under
+// fuzzed messages and deletion positions.
+func FuzzDeletionRoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint8(0))
+	f.Add(uint8(63), uint8(9))
+	f.Fuzz(func(t *testing.T, msgRaw, posRaw uint8) {
+		code, err := New(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := make([]byte, code.K())
+		for i := range msg {
+			msg[i] = (msgRaw >> uint(i%8)) & 1
+		}
+		cw, err := code.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos := int(posRaw) % code.N()
+		recv := append(append([]byte(nil), cw[:pos]...), cw[pos+1:]...)
+		got, err := code.Decode(recv)
+		if err != nil {
+			t.Fatalf("single deletion at %d uncorrectable: %v", pos, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("deletion at %d decoded wrong message", pos)
+		}
+	})
+}

@@ -1,0 +1,220 @@
+// Package vt implements binary Varshamov–Tenengolts codes
+// VT_0(n) = { x in {0,1}^n : sum i*x_i ≡ 0 (mod n+1) },
+// which correct a single deletion or a single insertion — the simplest
+// non-trivial codes for the synchronization-error channels of the
+// paper's Section 4.1, and the classical backdrop to its references
+// [12]–[14].
+//
+// The encoder is systematic: message bits occupy the positions that are
+// not powers of two, and the power-of-two positions carry the checksum
+// correction (analogous to Hamming code parity placement; the deficit's
+// binary representation selects which parity bits are set).
+package vt
+
+import "fmt"
+
+// Code is a VT_0(n) code.
+type Code struct {
+	n         int
+	parityPos []int // 1-based power-of-two positions
+}
+
+// New returns VT_0(n). n must be at least 2 so the code carries at
+// least one message bit... (n=2 gives k=0); n >= 3 is required.
+func New(n int) (*Code, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("vt: block length %d too small (need >= 3)", n)
+	}
+	var parity []int
+	for p := 1; p <= n; p <<= 1 {
+		parity = append(parity, p)
+	}
+	return &Code{n: n, parityPos: parity}, nil
+}
+
+// N returns the block length.
+func (c *Code) N() int { return c.n }
+
+// K returns the number of message bits per block.
+func (c *Code) K() int { return c.n - len(c.parityPos) }
+
+// checksum returns sum i*x_i mod (n+1) over 1-based positions.
+func (c *Code) checksum(bits []byte) int {
+	s := 0
+	for i, b := range bits {
+		if b&1 == 1 {
+			s += i + 1
+		}
+	}
+	return s % (c.n + 1)
+}
+
+// isParityPos reports whether the 1-based position is a power of two.
+func isParityPos(p int) bool { return p&(p-1) == 0 }
+
+// Encode maps K() message bits to an n-bit codeword with checksum 0.
+func (c *Code) Encode(msg []byte) ([]byte, error) {
+	if len(msg) != c.K() {
+		return nil, fmt.Errorf("vt: message length %d, want %d", len(msg), c.K())
+	}
+	cw := make([]byte, c.n)
+	j := 0
+	for p := 1; p <= c.n; p++ {
+		if isParityPos(p) {
+			continue
+		}
+		if msg[j] > 1 {
+			return nil, fmt.Errorf("vt: message bit %d is %d, want 0 or 1", j, msg[j])
+		}
+		cw[p-1] = msg[j]
+		j++
+	}
+	// Deficit d with 0 <= d <= n; its binary representation selects
+	// parity positions (all powers of two <= n since d <= n).
+	d := (c.n + 1 - c.checksum(cw)) % (c.n + 1)
+	for _, p := range c.parityPos {
+		if d&p != 0 {
+			cw[p-1] = 1
+		}
+	}
+	if c.checksum(cw) != 0 {
+		// Unreachable by construction; guard against regressions.
+		return nil, fmt.Errorf("vt: internal checksum error")
+	}
+	return cw, nil
+}
+
+// IsCodeword reports whether bits is a length-n word of VT_0(n).
+func (c *Code) IsCodeword(bits []byte) bool {
+	if len(bits) != c.n {
+		return false
+	}
+	for _, b := range bits {
+		if b > 1 {
+			return false
+		}
+	}
+	return c.checksum(bits) == 0
+}
+
+// Extract returns the message bits of a codeword (no error checking
+// beyond length).
+func (c *Code) Extract(cw []byte) ([]byte, error) {
+	if len(cw) != c.n {
+		return nil, fmt.Errorf("vt: codeword length %d, want %d", len(cw), c.n)
+	}
+	msg := make([]byte, 0, c.K())
+	for p := 1; p <= c.n; p++ {
+		if !isParityPos(p) {
+			msg = append(msg, cw[p-1]&1)
+		}
+	}
+	return msg, nil
+}
+
+// Decode recovers the message from a received word of length n (must
+// be a codeword), n-1 (one deletion) or n+1 (one insertion). Any other
+// length, or a length-n non-codeword, is an error.
+func (c *Code) Decode(recv []byte) ([]byte, error) {
+	for i, b := range recv {
+		if b > 1 {
+			return nil, fmt.Errorf("vt: received bit %d is %d, want 0 or 1", i, b)
+		}
+	}
+	switch len(recv) {
+	case c.n:
+		if !c.IsCodeword(recv) {
+			return nil, fmt.Errorf("vt: length-%d word fails the checksum (substitution errors are not correctable)", c.n)
+		}
+		return c.Extract(recv)
+	case c.n - 1:
+		cw, err := c.correctDeletion(recv)
+		if err != nil {
+			return nil, err
+		}
+		return c.Extract(cw)
+	case c.n + 1:
+		cw, err := c.correctInsertion(recv)
+		if err != nil {
+			return nil, err
+		}
+		return c.Extract(cw)
+	default:
+		return nil, fmt.Errorf("vt: received length %d not in {%d, %d, %d}", len(recv), c.n-1, c.n, c.n+1)
+	}
+}
+
+// correctDeletion reinserts the single deleted bit (Levenshtein's
+// algorithm). recv has length n-1.
+func (c *Code) correctDeletion(recv []byte) ([]byte, error) {
+	w := 0
+	syn := 0
+	for i, b := range recv {
+		if b&1 == 1 {
+			w++
+			syn += i + 1
+		}
+	}
+	s := ((0-syn)%(c.n+1) + c.n + 1) % (c.n + 1)
+	cw := make([]byte, 0, c.n)
+	if s <= w {
+		// A 0 was deleted; reinsert it with exactly s ones to its right.
+		onesRight := 0
+		pos := len(recv) // insertion index counted from the left
+		for pos > 0 && onesRight < s {
+			pos--
+			if recv[pos]&1 == 1 {
+				onesRight++
+			}
+		}
+		if onesRight != s {
+			return nil, fmt.Errorf("vt: deletion syndrome %d inconsistent with weight %d", s, w)
+		}
+		cw = append(cw, recv[:pos]...)
+		cw = append(cw, 0)
+		cw = append(cw, recv[pos:]...)
+	} else {
+		// A 1 was deleted; reinsert it with s-w-1 zeros to its left.
+		zerosNeeded := s - w - 1
+		zeros := 0
+		pos := 0
+		for pos < len(recv) && zeros < zerosNeeded {
+			if recv[pos]&1 == 0 {
+				zeros++
+			}
+			pos++
+		}
+		if zeros != zerosNeeded {
+			return nil, fmt.Errorf("vt: deletion syndrome %d inconsistent with weight %d", s, w)
+		}
+		// Skip any further... insert after the zerosNeeded-th zero,
+		// before the next zero (equivalently, after any run of ones).
+		for pos < len(recv) && recv[pos]&1 == 1 {
+			pos++
+		}
+		cw = append(cw, recv[:pos]...)
+		cw = append(cw, 1)
+		cw = append(cw, recv[pos:]...)
+	}
+	if !c.IsCodeword(cw) {
+		return nil, fmt.Errorf("vt: deletion correction failed verification")
+	}
+	return cw, nil
+}
+
+// correctInsertion removes the single inserted bit. recv has length
+// n+1. All candidate removals that yield a VT_0(n) codeword are the
+// same word (single-deletion-correcting codes correct single
+// insertions, Levenshtein 1966), so the scan returns the first hit.
+func (c *Code) correctInsertion(recv []byte) ([]byte, error) {
+	cand := make([]byte, c.n)
+	for skip := 0; skip <= len(recv)-1; skip++ {
+		copy(cand, recv[:skip])
+		copy(cand[skip:], recv[skip+1:])
+		if c.checksum(cand) == 0 {
+			out := append([]byte(nil), cand...)
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("vt: no single-bit removal yields a codeword")
+}

@@ -1,0 +1,215 @@
+package vt
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func mustCode(t *testing.T, n int) *Code {
+	t.Helper()
+	c, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(2); err == nil {
+		t.Error("expected error for tiny block")
+	}
+	c := mustCode(t, 10)
+	// Parity positions 1,2,4,8 -> k = 6.
+	if c.N() != 10 || c.K() != 6 {
+		t.Fatalf("N=%d K=%d, want 10, 6", c.N(), c.K())
+	}
+}
+
+func TestEncodeProducesCodewords(t *testing.T) {
+	for _, n := range []int{3, 7, 10, 16, 31} {
+		c := mustCode(t, n)
+		src := rng.New(uint64(n))
+		for trial := 0; trial < 50; trial++ {
+			msg := randomBits(src, c.K())
+			cw, err := c.Encode(msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !c.IsCodeword(cw) {
+				t.Fatalf("n=%d: Encode produced non-codeword %v", n, cw)
+			}
+			back, err := c.Extract(cw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(back, msg) {
+				t.Fatalf("n=%d: Extract mismatch", n)
+			}
+		}
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	c := mustCode(t, 10)
+	if _, err := c.Encode(make([]byte, 3)); err == nil {
+		t.Error("expected length error")
+	}
+	bad := make([]byte, c.K())
+	bad[0] = 2
+	if _, err := c.Encode(bad); err == nil {
+		t.Error("expected bit error")
+	}
+}
+
+func TestDecodeExactCodeword(t *testing.T) {
+	c := mustCode(t, 12)
+	src := rng.New(1)
+	msg := randomBits(src, c.K())
+	cw, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decode(cw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("Decode(codeword) mismatch")
+	}
+}
+
+func TestDecodeRejectsSubstitution(t *testing.T) {
+	c := mustCode(t, 12)
+	src := rng.New(2)
+	msg := randomBits(src, c.K())
+	cw, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw[5] ^= 1
+	if _, err := c.Decode(cw); err == nil {
+		t.Fatal("expected checksum failure for substituted word")
+	}
+}
+
+func TestDecodeAllSingleDeletionsExhaustive(t *testing.T) {
+	// Gold-standard property: for every message, every single deletion
+	// position must decode back to the message. Exhaustive over all
+	// messages for n=10 (64 messages x 10 positions).
+	for _, n := range []int{7, 10} {
+		c := mustCode(t, n)
+		for m := 0; m < 1<<uint(c.K()); m++ {
+			msg := intToBits(m, c.K())
+			cw, err := c.Encode(msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for del := 0; del < n; del++ {
+				recv := make([]byte, 0, n-1)
+				recv = append(recv, cw[:del]...)
+				recv = append(recv, cw[del+1:]...)
+				got, err := c.Decode(recv)
+				if err != nil {
+					t.Fatalf("n=%d msg=%d del=%d: %v", n, m, del, err)
+				}
+				if !bytes.Equal(got, msg) {
+					t.Fatalf("n=%d msg=%d del=%d: wrong message", n, m, del)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeAllSingleInsertionsExhaustive(t *testing.T) {
+	for _, n := range []int{7, 10} {
+		c := mustCode(t, n)
+		for m := 0; m < 1<<uint(c.K()); m++ {
+			msg := intToBits(m, c.K())
+			cw, err := c.Encode(msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for pos := 0; pos <= n; pos++ {
+				for bit := byte(0); bit <= 1; bit++ {
+					recv := make([]byte, 0, n+1)
+					recv = append(recv, cw[:pos]...)
+					recv = append(recv, bit)
+					recv = append(recv, cw[pos:]...)
+					got, err := c.Decode(recv)
+					if err != nil {
+						t.Fatalf("n=%d msg=%d pos=%d bit=%d: %v", n, m, pos, bit, err)
+					}
+					if !bytes.Equal(got, msg) {
+						t.Fatalf("n=%d msg=%d pos=%d bit=%d: wrong message", n, m, pos, bit)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeLengthValidation(t *testing.T) {
+	c := mustCode(t, 10)
+	if _, err := c.Decode(make([]byte, 5)); err == nil {
+		t.Error("expected length error")
+	}
+	if _, err := c.Decode([]byte{0, 1, 2, 0, 1, 0, 1, 0, 1, 0}); err == nil {
+		t.Error("expected bit validation error")
+	}
+}
+
+func TestExtractValidation(t *testing.T) {
+	c := mustCode(t, 10)
+	if _, err := c.Extract(make([]byte, 4)); err == nil {
+		t.Error("expected length error")
+	}
+}
+
+func TestIsCodewordRejects(t *testing.T) {
+	c := mustCode(t, 10)
+	if c.IsCodeword(make([]byte, 4)) {
+		t.Error("wrong length accepted")
+	}
+	if c.IsCodeword([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 2}) {
+		t.Error("non-binary accepted")
+	}
+	// All-zero word is a codeword (checksum 0).
+	if !c.IsCodeword(make([]byte, 10)) {
+		t.Error("all-zero word rejected")
+	}
+}
+
+func TestCodeSizeMatchesVTBound(t *testing.T) {
+	// VT_0(n) is the largest VT class; our systematic subcode has
+	// exactly 2^K codewords, all distinct.
+	c := mustCode(t, 10)
+	seen := make(map[string]bool)
+	for m := 0; m < 1<<uint(c.K()); m++ {
+		cw, err := c.Encode(intToBits(m, c.K()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[string(cw)] = true
+	}
+	if len(seen) != 1<<uint(c.K()) {
+		t.Fatalf("only %d distinct codewords of %d", len(seen), 1<<uint(c.K()))
+	}
+}
+
+func randomBits(src *rng.Source, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = src.Bit()
+	}
+	return out
+}
+
+func intToBits(v, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		out[i] = byte((v >> uint(i)) & 1)
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package watermark
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/rng"
+)
+
+func BenchmarkEncode(b *testing.B) {
+	c, err := New(defaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	syms := randomSymbols(1, 200, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(syms); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode200Symbols(b *testing.B) {
+	p := defaultParams()
+	c, err := New(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	syms := randomSymbols(2, 200, 4)
+	tx, err := c.Encode(syms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch, err := channel.NewBinaryDI(p.Pd, p.Pi, 0, rng.New(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	recv, err := ch.Transmit(tx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decode(recv, len(syms)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

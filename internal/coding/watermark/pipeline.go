@@ -1,0 +1,155 @@
+package watermark
+
+import (
+	"fmt"
+
+	"repro/internal/coding/gf"
+	"repro/internal/coding/rs"
+)
+
+// Pipeline is the full Davey–MacKay construction: this watermark inner
+// code concatenated with a Reed–Solomon outer code over GF(2^ChunkBits).
+// The inner decoder's per-chunk posterior confidence marks unreliable
+// chunks as erasures for the outer errors-and-erasures decoder, which
+// roughly doubles the outer code's correction budget on flagged
+// positions.
+type Pipeline struct {
+	inner *Code
+	outer *rs.Code
+	// erasureBelow flags chunks whose posterior confidence falls below
+	// this threshold as outer-code erasures.
+	erasureBelow float64
+}
+
+// NewPipeline builds the concatenated system. outerN and outerK are the
+// RS block parameters over GF(2^ChunkBits); erasureBelow in [0, 1) sets
+// the confidence threshold for erasure flagging (0 disables flagging).
+func NewPipeline(p Params, outerN, outerK int, erasureBelow float64) (*Pipeline, error) {
+	inner, err := New(p)
+	if err != nil {
+		return nil, err
+	}
+	if p.ChunkBits < 2 {
+		return nil, fmt.Errorf("watermark: pipeline needs ChunkBits >= 2 for a GF(2^m) outer code")
+	}
+	field, err := gf.Default(p.ChunkBits)
+	if err != nil {
+		return nil, err
+	}
+	outer, err := rs.New(field, outerN, outerK)
+	if err != nil {
+		return nil, err
+	}
+	if erasureBelow < 0 || erasureBelow >= 1 {
+		return nil, fmt.Errorf("watermark: erasure threshold %v out of [0,1)", erasureBelow)
+	}
+	return &Pipeline{inner: inner, outer: outer, erasureBelow: erasureBelow}, nil
+}
+
+// BlockPayload returns the payload symbols per outer block.
+func (p *Pipeline) BlockPayload() int { return p.outer.K() }
+
+// Rate returns the end-to-end code rate in information bits per
+// transmitted channel bit.
+func (p *Pipeline) Rate() float64 {
+	return p.inner.Rate() * float64(p.outer.K()) / float64(p.outer.N())
+}
+
+// Encode maps payload symbols (a multiple of BlockPayload, each within
+// the chunk alphabet) to the transmitted bit stream.
+func (p *Pipeline) Encode(payload []uint32) ([]byte, error) {
+	k := p.outer.K()
+	if len(payload) == 0 || len(payload)%k != 0 {
+		return nil, fmt.Errorf("watermark: payload length %d not a positive multiple of %d", len(payload), k)
+	}
+	blocks := len(payload) / k
+	stream := make([]uint32, 0, blocks*p.outer.N())
+	for b := 0; b < blocks; b++ {
+		cw, err := p.outer.Encode(payload[b*k : (b+1)*k])
+		if err != nil {
+			return nil, err
+		}
+		stream = append(stream, cw...)
+	}
+	return p.inner.Encode(stream)
+}
+
+// PipelineResult reports a decode.
+type PipelineResult struct {
+	// Payload holds the recovered symbols.
+	Payload []uint32
+	// InnerErasures counts chunks flagged as erasures.
+	InnerErasures int
+	// FailedBlocks counts outer blocks that were uncorrectable (their
+	// systematic symbols are passed through as-is).
+	FailedBlocks int
+}
+
+// Decode recovers the payload for the given number of payload symbols.
+func (p *Pipeline) Decode(recv []byte, payloadSymbols int) (PipelineResult, error) {
+	k := p.outer.K()
+	if payloadSymbols == 0 || payloadSymbols%k != 0 {
+		return PipelineResult{}, fmt.Errorf("watermark: payload length %d not a positive multiple of %d", payloadSymbols, k)
+	}
+	blocks := payloadSymbols / k
+	streamLen := blocks * p.outer.N()
+	dec, err := p.inner.Decode(recv, streamLen)
+	if err != nil {
+		return PipelineResult{}, err
+	}
+	var res PipelineResult
+	res.Payload = make([]uint32, 0, payloadSymbols)
+	n := p.outer.N()
+	for b := 0; b < blocks; b++ {
+		block := append([]uint32(nil), dec.Symbols[b*n:(b+1)*n]...)
+		// Errors-only decoding first: when it succeeds it is already a
+		// verified codeword, and spending redundancy on erasure flags
+		// that may point at correct symbols can only lose ground.
+		msg, err := p.outer.Decode(block)
+		if err != nil && p.erasureBelow > 0 {
+			// Beyond the errors-only radius: spend the flags.
+			var erasures []int
+			for i := 0; i < n; i++ {
+				if dec.Confidence[b*n+i] < p.erasureBelow {
+					erasures = append(erasures, i)
+				}
+			}
+			// The outer decoder rejects more erasures than redundancy;
+			// keep only the least confident ones.
+			if len(erasures) > n-k {
+				erasures = lowestConfidence(dec.Confidence[b*n:(b+1)*n], erasures, n-k)
+			}
+			res.InnerErasures += len(erasures)
+			msg, err = p.outer.DecodeErasures(block, erasures)
+		}
+		if err != nil {
+			res.FailedBlocks++
+			msg = block[:k]
+		}
+		res.Payload = append(res.Payload, msg...)
+	}
+	return res, nil
+}
+
+// lowestConfidence keeps the `keep` positions with the smallest
+// confidence values.
+func lowestConfidence(conf []float64, candidates []int, keep int) []int {
+	if keep <= 0 {
+		return nil
+	}
+	sorted := append([]int(nil), candidates...)
+	// Simple selection sort: candidate lists are tiny (<= block size).
+	for i := 0; i < len(sorted) && i < keep; i++ {
+		min := i
+		for j := i + 1; j < len(sorted); j++ {
+			if conf[sorted[j]] < conf[sorted[min]] {
+				min = j
+			}
+		}
+		sorted[i], sorted[min] = sorted[min], sorted[i]
+	}
+	if len(sorted) > keep {
+		sorted = sorted[:keep]
+	}
+	return sorted
+}

@@ -1,0 +1,213 @@
+package watermark
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/rng"
+)
+
+func pipelineParams() Params {
+	return Params{
+		ChunkBits: 4,
+		SparseLen: 8,
+		Pd:        0.01,
+		Pi:        0.01,
+		MaxDrift:  24,
+		Seed:      7,
+	}
+}
+
+func TestNewPipelineValidation(t *testing.T) {
+	if _, err := NewPipeline(Params{}, 15, 11, 0.2); err == nil {
+		t.Error("expected inner params error")
+	}
+	p := pipelineParams()
+	p.ChunkBits = 1
+	p.SparseLen = 4
+	if _, err := NewPipeline(p, 15, 11, 0.2); err == nil {
+		t.Error("expected chunk width error for outer field")
+	}
+	if _, err := NewPipeline(pipelineParams(), 16, 11, 0.2); err == nil {
+		t.Error("expected RS block length error")
+	}
+	if _, err := NewPipeline(pipelineParams(), 15, 11, 1.5); err == nil {
+		t.Error("expected threshold error")
+	}
+}
+
+func TestPipelineAccessors(t *testing.T) {
+	p, err := NewPipeline(pipelineParams(), 15, 11, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BlockPayload() != 11 {
+		t.Fatalf("BlockPayload = %d", p.BlockPayload())
+	}
+	want := 0.5 * 11.0 / 15.0
+	if got := p.Rate(); got != want {
+		t.Fatalf("Rate = %v, want %v", got, want)
+	}
+}
+
+func TestPipelineEncodeValidation(t *testing.T) {
+	p, err := NewPipeline(pipelineParams(), 15, 11, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Encode(make([]uint32, 5)); err == nil {
+		t.Error("expected payload multiple error")
+	}
+	if _, err := p.Encode(nil); err == nil {
+		t.Error("expected empty payload error")
+	}
+	bad := make([]uint32, 11)
+	bad[0] = 16
+	if _, err := p.Encode(bad); err == nil {
+		t.Error("expected alphabet error")
+	}
+}
+
+func randomPayload(seed uint64, blocks, k int) []uint32 {
+	src := rng.New(seed)
+	out := make([]uint32, blocks*k)
+	for i := range out {
+		out[i] = uint32(src.Intn(16))
+	}
+	return out
+}
+
+func TestPipelineCleanRoundTrip(t *testing.T) {
+	p, err := NewPipeline(pipelineParams(), 15, 11, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := randomPayload(1, 6, 11)
+	tx, err := p.Encode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Decode(tx, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailedBlocks != 0 {
+		t.Fatalf("clean channel had %d failed blocks", res.FailedBlocks)
+	}
+	for i := range payload {
+		if res.Payload[i] != payload[i] {
+			t.Fatalf("payload symbol %d mismatch", i)
+		}
+	}
+}
+
+func TestPipelineOverChannelZeroErrors(t *testing.T) {
+	// The headline Section 4.1 capability end to end: with the outer
+	// code, the pipeline delivers error-free payloads over the
+	// deletion-insertion channel at 1% event rates.
+	params := pipelineParams()
+	p, err := NewPipeline(params, 15, 11, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := randomPayload(2, 15, 11)
+	tx, err := p.Encode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := channel.NewBinaryDI(params.Pd, params.Pi, 0, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv, err := ch.Transmit(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Decode(recv, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := 0
+	for i := range payload {
+		if res.Payload[i] != payload[i] {
+			wrong++
+		}
+	}
+	if frac := float64(wrong) / float64(len(payload)); frac > 0.01 {
+		t.Fatalf("payload error rate %v after outer code", frac)
+	}
+}
+
+func TestPipelineErasureFlaggingHelps(t *testing.T) {
+	// At a stress event rate, erasure flagging should do at least as
+	// well as errors-only decoding.
+	params := pipelineParams()
+	params.Pd, params.Pi = 0.02, 0.02
+	payload := randomPayload(4, 12, 11)
+
+	errorsFor := func(threshold float64, seed uint64) int {
+		p, err := NewPipeline(params, 15, 11, threshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx, err := p.Encode(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := channel.NewBinaryDI(params.Pd, params.Pi, 0, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		recv, err := ch.Transmit(tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Decode(recv, len(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wrong := 0
+		for i := range payload {
+			if res.Payload[i] != payload[i] {
+				wrong++
+			}
+		}
+		return wrong
+	}
+	totalPlain, totalFlagged := 0, 0
+	for seed := uint64(10); seed < 16; seed++ {
+		totalPlain += errorsFor(0, seed)
+		totalFlagged += errorsFor(0.5, seed)
+	}
+	if totalFlagged > totalPlain {
+		t.Fatalf("erasure flagging hurt: %d vs %d payload errors", totalFlagged, totalPlain)
+	}
+}
+
+func TestPipelineDecodeValidation(t *testing.T) {
+	p, err := NewPipeline(pipelineParams(), 15, 11, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Decode([]byte{0, 1}, 5); err == nil {
+		t.Error("expected payload multiple error")
+	}
+	if _, err := p.Decode([]byte{0, 1}, 0); err == nil {
+		t.Error("expected empty payload error")
+	}
+}
+
+func TestLowestConfidence(t *testing.T) {
+	conf := []float64{0.9, 0.1, 0.5, 0.05, 0.7}
+	got := lowestConfidence(conf, []int{0, 1, 2, 3, 4}, 2)
+	if len(got) != 2 {
+		t.Fatalf("kept %d, want 2", len(got))
+	}
+	seen := map[int]bool{got[0]: true, got[1]: true}
+	if !seen[3] || !seen[1] {
+		t.Fatalf("kept %v, want the two least confident {3, 1}", got)
+	}
+	if lowestConfidence(conf, []int{0}, 0) != nil {
+		t.Fatal("keep=0 should return nil")
+	}
+}

@@ -1,0 +1,425 @@
+// Package watermark implements Davey–MacKay watermark codes (the
+// paper's reference [13]) for binary deletion–insertion channels: the
+// construction the paper points to as the state of the art for
+// reliable communication over non-synchronous channels *without* any
+// synchronization mechanism (Section 4.1).
+//
+// Symbols of k bits are mapped to sparse n-bit codewords, XORed with a
+// pseudorandom watermark sequence shared with the receiver, and sent
+// through the channel. The receiver runs a forward–backward algorithm
+// over a hidden Markov model whose state is the synchronization drift
+// (received position minus transmitted position), treating the sparse
+// bits as low-density noise on the watermark; the resulting per-chunk
+// symbol posteriors feed an outer Reed–Solomon code (internal/coding/rs)
+// that removes residual errors.
+package watermark
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Params configures a watermark code.
+type Params struct {
+	// ChunkBits is k: bits per outer symbol (1..8; alphabet 2^k).
+	ChunkBits int
+	// SparseLen is n: sparse bits transmitted per symbol (> ChunkBits).
+	SparseLen int
+	// Pd, Pi, Ps are the decoder's channel model (Definition 1 at bit
+	// level; Ps is the flip probability of a transmitted bit).
+	Pd, Pi, Ps float64
+	// MaxDrift bounds the |drift| tracked by the decoder.
+	MaxDrift int
+	// MaxInsertRun caps insertions considered per transmitted bit
+	// (default 2 when 0).
+	MaxInsertRun int
+	// Seed generates the watermark sequence (the shared secret).
+	Seed uint64
+}
+
+// validate checks the parameters.
+func (p Params) validate() error {
+	if p.ChunkBits < 1 || p.ChunkBits > 8 {
+		return fmt.Errorf("watermark: chunk bits %d out of [1,8]", p.ChunkBits)
+	}
+	if p.SparseLen <= p.ChunkBits || p.SparseLen > 64 {
+		return fmt.Errorf("watermark: sparse length %d must be in (%d, 64]", p.SparseLen, p.ChunkBits)
+	}
+	for _, v := range []struct {
+		name string
+		val  float64
+	}{{"Pd", p.Pd}, {"Pi", p.Pi}, {"Ps", p.Ps}} {
+		if v.val < 0 || v.val > 0.5 {
+			return fmt.Errorf("watermark: %s = %v out of [0,0.5]", v.name, v.val)
+		}
+	}
+	if p.Pd+p.Pi >= 1 {
+		return fmt.Errorf("watermark: Pd + Pi must be < 1")
+	}
+	if p.MaxDrift < 1 || p.MaxDrift > 1024 {
+		return fmt.Errorf("watermark: MaxDrift %d out of [1,1024]", p.MaxDrift)
+	}
+	if p.MaxInsertRun < 0 || p.MaxInsertRun > 8 {
+		return fmt.Errorf("watermark: MaxInsertRun %d out of [0,8]", p.MaxInsertRun)
+	}
+	return nil
+}
+
+// Code is a configured watermark code.
+type Code struct {
+	p       Params
+	book    [][]byte // sparse codeword bits per symbol value
+	density float64  // mean fraction of ones in the codebook
+	insCap  int
+}
+
+// New constructs the code, building the sparse codebook from the
+// 2^ChunkBits lowest-weight SparseLen-bit words.
+func New(p Params) (*Code, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	insCap := p.MaxInsertRun
+	if insCap == 0 {
+		insCap = 2
+	}
+	size := 1 << uint(p.ChunkBits)
+	// Order all n-bit words by (weight, value) and keep the lightest.
+	type cand struct {
+		w int
+		v uint64
+	}
+	// Enumerating 2^n words is infeasible for n up to 64; generate the
+	// lightest words directly by weight layers instead.
+	var cands []cand
+	for w := 0; w <= p.SparseLen && len(cands) < size; w++ {
+		layer := wordsOfWeight(p.SparseLen, w, size-len(cands))
+		for _, v := range layer {
+			cands = append(cands, cand{w: w, v: v})
+		}
+	}
+	if len(cands) < size {
+		return nil, fmt.Errorf("watermark: codebook underfull (%d of %d)", len(cands), size)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].w != cands[j].w {
+			return cands[i].w < cands[j].w
+		}
+		return cands[i].v < cands[j].v
+	})
+	book := make([][]byte, size)
+	ones := 0
+	for i := 0; i < size; i++ {
+		bitsOut := make([]byte, p.SparseLen)
+		for j := 0; j < p.SparseLen; j++ {
+			bitsOut[j] = byte(cands[i].v >> uint(j) & 1)
+		}
+		book[i] = bitsOut
+		ones += cands[i].w
+	}
+	density := float64(ones) / float64(size*p.SparseLen)
+	if density == 0 {
+		density = 1 / float64(2*p.SparseLen) // all-zero degenerate guard
+	}
+	return &Code{p: p, book: book, density: density, insCap: insCap}, nil
+}
+
+// wordsOfWeight returns up to limit n-bit words of the given weight in
+// ascending value order.
+func wordsOfWeight(n, w, limit int) []uint64 {
+	if limit <= 0 {
+		return nil
+	}
+	var out []uint64
+	if w == 0 {
+		return []uint64{0}
+	}
+	// Iterate combinations via Gosper's hack, smallest value first.
+	v := uint64(1)<<uint(w) - 1
+	maxv := uint64(1) << uint(n)
+	for v < maxv && len(out) < limit {
+		out = append(out, v)
+		// Next word with the same popcount.
+		c := v & -v
+		r := v + c
+		if r >= maxv || c == 0 {
+			break
+		}
+		v = (((r ^ v) >> 2) / c) | r
+	}
+	return out
+}
+
+// Params returns the configuration.
+func (c *Code) Params() Params { return c.p }
+
+// Density returns the mean sparse density f.
+func (c *Code) Density() float64 { return c.density }
+
+// SymbolAlphabet returns 2^ChunkBits.
+func (c *Code) SymbolAlphabet() int { return 1 << uint(c.p.ChunkBits) }
+
+// Rate returns the inner code rate ChunkBits/SparseLen.
+func (c *Code) Rate() float64 { return float64(c.p.ChunkBits) / float64(c.p.SparseLen) }
+
+// watermarkBits generates the shared watermark for numSyms symbols.
+func (c *Code) watermarkBits(numSyms int) []byte {
+	src := rng.New(c.p.Seed)
+	w := make([]byte, numSyms*c.p.SparseLen)
+	for i := range w {
+		w[i] = src.Bit()
+	}
+	return w
+}
+
+// Encode maps outer symbols to the transmitted bit stream: sparse
+// codeword bits XOR watermark.
+func (c *Code) Encode(syms []uint32) ([]byte, error) {
+	limit := uint32(c.SymbolAlphabet())
+	w := c.watermarkBits(len(syms))
+	out := make([]byte, 0, len(syms)*c.p.SparseLen)
+	for i, s := range syms {
+		if s >= limit {
+			return nil, fmt.Errorf("watermark: symbol %d (=%d) outside %d-bit alphabet", i, s, c.p.ChunkBits)
+		}
+		cw := c.book[s]
+		base := i * c.p.SparseLen
+		for j, b := range cw {
+			out = append(out, b^w[base+j])
+		}
+	}
+	return out, nil
+}
+
+// Decoded holds the decoder output for one run.
+type Decoded struct {
+	// Symbols are the MAP symbol decisions per chunk.
+	Symbols []uint32
+	// Confidence is the posterior probability of each decision in
+	// [0, 1]; low values flag likely errors (outer-code erasures).
+	Confidence []float64
+}
+
+// Decode runs the drift forward–backward algorithm and returns MAP
+// symbols with posterior confidences for numSyms chunks.
+func (c *Code) Decode(recv []byte, numSyms int) (Decoded, error) {
+	if numSyms < 1 {
+		return Decoded{}, fmt.Errorf("watermark: symbol count %d, want >= 1", numSyms)
+	}
+	for i, b := range recv {
+		if b > 1 {
+			return Decoded{}, fmt.Errorf("watermark: received bit %d is %d, want 0 or 1", i, b)
+		}
+	}
+	var (
+		n = c.p.SparseLen
+		T = numSyms * n
+		D = c.p.MaxDrift
+	)
+	finalDrift := len(recv) - T
+	if finalDrift < -D || finalDrift > D {
+		return Decoded{}, fmt.Errorf("watermark: realized drift %d exceeds MaxDrift %d", finalDrift, D)
+	}
+	w := c.watermarkBits(numSyms)
+
+	// Marginal emission probability of received bit r when transmitted
+	// bit is watermark XOR sparse with density f.
+	f := c.density
+	emitMarginal := func(i int, r byte) float64 {
+		pSame := (1-f)*(1-c.p.Ps) + f*c.p.Ps // P(channel output equals w_i)
+		if r == w[i] {
+			return pSame
+		}
+		return 1 - pSame
+	}
+	// Exact emission when the transmitted bit t is known.
+	emitExact := func(t, r byte) float64 {
+		if t == r {
+			return 1 - c.p.Ps
+		}
+		return c.p.Ps
+	}
+
+	alpha, err := c.forward(recv, T, emitMarginal)
+	if err != nil {
+		return Decoded{}, err
+	}
+	beta, err := c.backward(recv, T, finalDrift, emitMarginal)
+	if err != nil {
+		return Decoded{}, err
+	}
+
+	nd := 2*D + 1
+	out := Decoded{
+		Symbols:    make([]uint32, numSyms),
+		Confidence: make([]float64, numSyms),
+	}
+	gamma := make([]float64, nd)
+	scratch := make([]float64, nd)
+	like := make([]float64, c.SymbolAlphabet())
+	for chunk := 0; chunk < numSyms; chunk++ {
+		i0 := chunk * n
+		var total float64
+		for v := range like {
+			copy(gamma, alpha[i0])
+			cw := c.book[v]
+			for l := 0; l < n; l++ {
+				i := i0 + l
+				t := cw[l] ^ w[i]
+				c.stepForward(gamma, scratch, recv, i, func(_ int, r byte) float64 {
+					return emitExact(t, r)
+				})
+				gamma, scratch = scratch, gamma
+			}
+			var s float64
+			for a := 0; a < nd; a++ {
+				s += gamma[a] * beta[i0+n][a]
+			}
+			like[v] = s
+			total += s
+		}
+		best := 0
+		for v := 1; v < len(like); v++ {
+			if like[v] > like[best] {
+				best = v
+			}
+		}
+		out.Symbols[chunk] = uint32(best)
+		if total > 0 {
+			out.Confidence[chunk] = like[best] / total
+		}
+	}
+	return out, nil
+}
+
+// stepForward advances one transmitted bit: dst[b] = sum over drift a
+// and insertion count m of src[a] * P(transition, emissions). emit
+// gives the probability of the received bit consumed by the
+// transmission itself.
+func (c *Code) stepForward(src, dst []float64, recv []byte, i int, emit func(i int, r byte) float64) {
+	D := c.p.MaxDrift
+	nd := 2*D + 1
+	pt := 1 - c.p.Pd - c.p.Pi
+	for b := range dst {
+		dst[b] = 0
+	}
+	for ai := 0; ai < nd; ai++ {
+		pa := src[ai]
+		if pa == 0 {
+			continue
+		}
+		a := ai - D
+		insP := 1.0
+		for m := 0; m <= c.insCap; m++ {
+			if m > 0 {
+				idx := i + a + m - 1
+				if idx < 0 || idx >= len(recv) {
+					break
+				}
+				insP *= c.p.Pi * 0.5
+			}
+			// Deletion: drift a+m-1.
+			if bd := a + m - 1; bd >= -D && bd <= D {
+				dst[bd+D] += pa * insP * c.p.Pd
+			}
+			// Transmission: consumes recv[i+a+m], drift a+m.
+			if bt := a + m; bt >= -D && bt <= D {
+				idx := i + a + m
+				if idx >= 0 && idx < len(recv) {
+					dst[bt+D] += pa * insP * pt * emit(i, recv[idx])
+				}
+			}
+		}
+	}
+}
+
+// forward computes normalized alpha[i][drift] for i = 0..T.
+func (c *Code) forward(recv []byte, T int, emit func(i int, r byte) float64) ([][]float64, error) {
+	D := c.p.MaxDrift
+	nd := 2*D + 1
+	alpha := make([][]float64, T+1)
+	alpha[0] = make([]float64, nd)
+	alpha[0][D] = 1
+	for i := 0; i < T; i++ {
+		alpha[i+1] = make([]float64, nd)
+		c.stepForward(alpha[i], alpha[i+1], recv, i, emit)
+		if err := normalize(alpha[i+1]); err != nil {
+			return nil, fmt.Errorf("watermark: forward pass died at bit %d (raise MaxDrift?)", i)
+		}
+	}
+	return alpha, nil
+}
+
+// backward computes normalized beta[i][drift] for i = T..0.
+func (c *Code) backward(recv []byte, T, finalDrift int, emit func(i int, r byte) float64) ([][]float64, error) {
+	var (
+		D   = c.p.MaxDrift
+		nd  = 2*D + 1
+		pt  = 1 - c.p.Pd - c.p.Pi
+		res = make([][]float64, T+1)
+	)
+	res[T] = make([]float64, nd)
+	res[T][finalDrift+D] = 1
+	for i := T - 1; i >= 0; i-- {
+		cur := make([]float64, nd)
+		nxt := res[i+1]
+		for ai := 0; ai < nd; ai++ {
+			a := ai - D
+			var sum float64
+			insP := 1.0
+			for m := 0; m <= c.insCap; m++ {
+				if m > 0 {
+					idx := i + a + m - 1
+					if idx < 0 || idx >= len(recv) {
+						break
+					}
+					insP *= c.p.Pi * 0.5
+				}
+				if bd := a + m - 1; bd >= -D && bd <= D {
+					sum += insP * c.p.Pd * nxt[bd+D]
+				}
+				if bt := a + m; bt >= -D && bt <= D {
+					idx := i + a + m
+					if idx >= 0 && idx < len(recv) {
+						sum += insP * pt * emit(i, recv[idx]) * nxt[bt+D]
+					}
+				}
+			}
+			cur[ai] = sum
+		}
+		if err := normalize(cur); err != nil {
+			return nil, fmt.Errorf("watermark: backward pass died at bit %d (raise MaxDrift?)", i)
+		}
+		res[i] = cur
+	}
+	return res, nil
+}
+
+// normalize scales a distribution to sum 1; an all-zero vector is an
+// error (the lattice disconnected).
+func normalize(v []float64) error {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	if s <= 0 || math.IsNaN(s) {
+		return fmt.Errorf("watermark: zero mass")
+	}
+	for i := range v {
+		v[i] /= s
+	}
+	return nil
+}
+
+// codebookWeight reports the Hamming weight of symbol v's codeword
+// (exported for tests and diagnostics).
+func (c *Code) codebookWeight(v int) int {
+	w := 0
+	for _, b := range c.book[v] {
+		w += int(b)
+	}
+	return w
+}

@@ -1,0 +1,313 @@
+package watermark
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/rng"
+)
+
+func defaultParams() Params {
+	return Params{
+		ChunkBits: 4,
+		SparseLen: 8,
+		Pd:        0.01,
+		Pi:        0.01,
+		MaxDrift:  16,
+		Seed:      7,
+	}
+}
+
+func mustCode(t *testing.T, p Params) *Code {
+	t.Helper()
+	c, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func randomSymbols(seed uint64, count, width int) []uint32 {
+	src := rng.New(seed)
+	out := make([]uint32, count)
+	for i := range out {
+		out[i] = src.Symbol(width)
+	}
+	return out
+}
+
+func TestParamsValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"chunk low", func(p *Params) { p.ChunkBits = 0 }},
+		{"chunk high", func(p *Params) { p.ChunkBits = 9 }},
+		{"sparse too short", func(p *Params) { p.SparseLen = 4 }},
+		{"sparse too long", func(p *Params) { p.SparseLen = 65 }},
+		{"pd", func(p *Params) { p.Pd = 0.6 }},
+		{"pi", func(p *Params) { p.Pi = -0.1 }},
+		{"ps", func(p *Params) { p.Ps = 0.7 }},
+		{"drift low", func(p *Params) { p.MaxDrift = 0 }},
+		{"drift high", func(p *Params) { p.MaxDrift = 2000 }},
+		{"insrun", func(p *Params) { p.MaxInsertRun = 9 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := defaultParams()
+			tt.mutate(&p)
+			if _, err := New(p); err == nil {
+				t.Fatal("expected validation error")
+			}
+		})
+	}
+}
+
+func TestCodebookIsSparse(t *testing.T) {
+	c := mustCode(t, defaultParams())
+	if c.SymbolAlphabet() != 16 {
+		t.Fatalf("alphabet = %d", c.SymbolAlphabet())
+	}
+	// The 16 lightest 8-bit words: 1 of weight 0, 8 of weight 1, and 7
+	// of weight 2 -> max weight 2, density (0+8+14)/(16*8).
+	for v := 0; v < 16; v++ {
+		if w := c.codebookWeight(v); w > 2 {
+			t.Fatalf("codeword %d has weight %d, want <= 2", v, w)
+		}
+	}
+	want := 22.0 / 128.0
+	if d := c.Density(); d != want {
+		t.Fatalf("density = %v, want %v", d, want)
+	}
+	if r := c.Rate(); r != 0.5 {
+		t.Fatalf("rate = %v, want 0.5", r)
+	}
+}
+
+func TestCodebookDistinct(t *testing.T) {
+	c := mustCode(t, defaultParams())
+	seen := make(map[string]bool)
+	for v := 0; v < c.SymbolAlphabet(); v++ {
+		key := string(c.book[v])
+		if seen[key] {
+			t.Fatalf("duplicate codeword for symbol %d", v)
+		}
+		seen[key] = true
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	c := mustCode(t, defaultParams())
+	if _, err := c.Encode([]uint32{16}); err == nil {
+		t.Fatal("expected alphabet error")
+	}
+}
+
+func TestEncodeLengthAndDeterminism(t *testing.T) {
+	c := mustCode(t, defaultParams())
+	syms := randomSymbols(1, 50, 4)
+	a, err := c.Encode(syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 50*8 {
+		t.Fatalf("encoded length %d, want 400", len(a))
+	}
+	b, err := c.Encode(syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("encoding is not deterministic")
+		}
+	}
+}
+
+func TestDecodeCleanChannel(t *testing.T) {
+	c := mustCode(t, defaultParams())
+	syms := randomSymbols(2, 100, 4)
+	tx, err := c.Encode(syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := c.Decode(tx, len(syms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range dec.Symbols {
+		if v != syms[i] {
+			t.Fatalf("symbol %d decoded as %d, want %d", i, v, syms[i])
+		}
+		if dec.Confidence[i] < 0.5 {
+			t.Fatalf("clean-channel confidence %v too low at %d", dec.Confidence[i], i)
+		}
+	}
+}
+
+func TestDecodeSingleDeletion(t *testing.T) {
+	c := mustCode(t, defaultParams())
+	syms := randomSymbols(3, 60, 4)
+	tx, err := c.Encode(syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv := append(append([]byte(nil), tx[:100]...), tx[101:]...)
+	dec, err := c.Decode(recv, len(syms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for i, v := range dec.Symbols {
+		if v != syms[i] {
+			errs++
+		}
+	}
+	if errs > 2 {
+		t.Fatalf("%d symbol errors after a single deletion", errs)
+	}
+}
+
+func TestDecodeSingleInsertion(t *testing.T) {
+	c := mustCode(t, defaultParams())
+	syms := randomSymbols(4, 60, 4)
+	tx, err := c.Encode(syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv := append([]byte(nil), tx[:200]...)
+	recv = append(recv, 1)
+	recv = append(recv, tx[200:]...)
+	dec, err := c.Decode(recv, len(syms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for i, v := range dec.Symbols {
+		if v != syms[i] {
+			errs++
+		}
+	}
+	if errs > 2 {
+		t.Fatalf("%d symbol errors after a single insertion", errs)
+	}
+}
+
+func TestDecodeOverDIChannelLowSER(t *testing.T) {
+	// The headline capability: reliable-ish symbol recovery over the
+	// Definition 1 channel with no synchronization at all. At
+	// Pd = Pi = 1% the residual symbol error rate should be well under
+	// 10%, leaving easy work for the RS outer code.
+	p := defaultParams()
+	c := mustCode(t, p)
+	syms := randomSymbols(5, 300, 4)
+	tx, err := c.Encode(syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := channel.NewBinaryDI(p.Pd, p.Pi, 0, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv, err := ch.Transmit(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := c.Decode(recv, len(syms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for i, v := range dec.Symbols {
+		if v != syms[i] {
+			errs++
+		}
+	}
+	if ser := float64(errs) / float64(len(syms)); ser > 0.10 {
+		t.Fatalf("symbol error rate %v too high", ser)
+	}
+}
+
+func TestConfidenceFlagsErrors(t *testing.T) {
+	// Decisions at erroneous chunks should on average carry lower
+	// confidence than correct ones.
+	p := defaultParams()
+	p.Pd, p.Pi = 0.02, 0.02
+	c := mustCode(t, p)
+	syms := randomSymbols(7, 400, 4)
+	tx, err := c.Encode(syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := channel.NewBinaryDI(p.Pd, p.Pi, 0, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv, err := ch.Transmit(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := c.Decode(recv, len(syms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var confErr, confOK float64
+	nErr, nOK := 0, 0
+	for i, v := range dec.Symbols {
+		if v != syms[i] {
+			confErr += dec.Confidence[i]
+			nErr++
+		} else {
+			confOK += dec.Confidence[i]
+			nOK++
+		}
+	}
+	if nErr == 0 {
+		t.Skip("no symbol errors at this seed; nothing to compare")
+	}
+	if confErr/float64(nErr) >= confOK/float64(nOK) {
+		t.Fatalf("error confidence %v not below correct confidence %v",
+			confErr/float64(nErr), confOK/float64(nOK))
+	}
+}
+
+func TestDecodeValidation(t *testing.T) {
+	c := mustCode(t, defaultParams())
+	if _, err := c.Decode([]byte{0, 1}, 0); err == nil {
+		t.Error("expected symbol count error")
+	}
+	if _, err := c.Decode([]byte{0, 2}, 1); err == nil {
+		t.Error("expected bit error")
+	}
+	// Drift beyond the window.
+	if _, err := c.Decode(make([]byte, 100), 1); err == nil {
+		t.Error("expected drift bound error")
+	}
+}
+
+func TestWrongSeedScramblesDecoding(t *testing.T) {
+	// The watermark is a shared secret: a receiver with the wrong seed
+	// should decode garbage (here: not match the clean-channel result).
+	p := defaultParams()
+	cTx := mustCode(t, p)
+	p.Seed = 999
+	cRx := mustCode(t, p)
+	syms := randomSymbols(9, 100, 4)
+	tx, err := cTx.Encode(syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := cRx.Decode(tx, len(syms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for i, v := range dec.Symbols {
+		if v != syms[i] {
+			errs++
+		}
+	}
+	if errs < len(syms)/2 {
+		t.Fatalf("wrong-seed decode recovered %d/%d symbols; watermark not load-bearing", len(syms)-errs, len(syms))
+	}
+}

@@ -1,0 +1,239 @@
+// Package delcap computes information rates of the binary deletion
+// channel without feedback — the quantity the paper's Section 4.1
+// discusses through its references [7][8][9] (Dobrushin's coding
+// theorem for synchronization-error channels, Vvedenskaya–Dobrushin's
+// computer computation of drop-out channel capacity, and Dolgopolov's
+// capacity bounds). The exact capacity is unknown to this day; this
+// package provides
+//
+//   - the exact finite-blocklength information rate I(X^n; Y)/n for
+//     i.i.d. uniform inputs with known block boundaries, computed by
+//     exhaustive enumeration with a subsequence-embedding dynamic
+//     program (the modern rendering of Vvedenskaya–Dobrushin's
+//     computation). Known boundaries act as synchronization side
+//     information, so the series *decreases* with n toward the
+//     channel's i.u.d. information rate; the n = 1 point recovers the
+//     erasure channel rate 1-Pd exactly;
+//   - an unbiased Monte-Carlo estimator of the same quantity for
+//     blocklengths where enumeration is infeasible (exploiting that
+//     the uniform-input output law of the deletion channel is
+//     closed-form: H(Y) = H(Binomial(n, 1-Pd)) + E[M]);
+//   - the classic analytic bounds 1-H(Pd) (achievable, Gallager) and
+//     1-Pd (erasure upper bound).
+package delcap
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/infotheory"
+	"repro/internal/rng"
+)
+
+// EmbeddingCount returns the number of ways y occurs as a subsequence
+// of x, the combinatorial core of the deletion channel's transition
+// probability: P(y | x) = count * Pd^(len(x)-len(y)) * (1-Pd)^len(y).
+// Sequences are bit strings packed little-endian into uint32 with
+// explicit lengths (n, m <= 20).
+func EmbeddingCount(x uint32, n int, y uint32, m int) (int64, error) {
+	if n < 0 || n > 20 || m < 0 || m > 20 {
+		return 0, fmt.Errorf("delcap: lengths (%d, %d) out of [0,20]", n, m)
+	}
+	if m > n {
+		return 0, nil
+	}
+	// dp[j] = embeddings of y[:j] in the processed prefix of x.
+	dp := make([]int64, m+1)
+	dp[0] = 1
+	for i := 0; i < n; i++ {
+		xb := x >> uint(i) & 1
+		// Descend j so each x bit is used at most once per embedding.
+		for j := m; j >= 1; j-- {
+			if y>>uint(j-1)&1 == xb {
+				dp[j] += dp[j-1]
+			}
+		}
+	}
+	return dp[m], nil
+}
+
+// ExactUniformRate computes I(X^n; Y)/n in bits for the binary
+// deletion channel with i.i.d. uniform inputs of blocklength n, by
+// exact enumeration over all inputs and all output lengths. It is
+// exponential in n; n is limited to 12.
+func ExactUniformRate(n int, pd float64) (float64, error) {
+	if n < 1 || n > 12 {
+		return 0, fmt.Errorf("delcap: blocklength %d out of [1,12] for exact enumeration", n)
+	}
+	if pd < 0 || pd > 1 {
+		return 0, fmt.Errorf("delcap: deletion probability %v out of [0,1]", pd)
+	}
+	if pd == 1 {
+		return 0, nil
+	}
+	numX := 1 << uint(n)
+	px := 1 / float64(numX)
+
+	// Precompute pd^(n-m)(1-pd)^m per output length m.
+	lenP := make([]float64, n+1)
+	for m := 0; m <= n; m++ {
+		lenP[m] = math.Pow(pd, float64(n-m)) * math.Pow(1-pd, float64(m))
+	}
+
+	// outIndex(y, m) = unique index for output string y of length m.
+	outOffset := make([]int, n+2)
+	for m := 0; m <= n; m++ {
+		outOffset[m+1] = outOffset[m] + (1 << uint(m))
+	}
+	numY := outOffset[n+1]
+
+	py := make([]float64, numY)
+	var hYgivenX float64 // sum_x p(x) H(Y|X=x)
+	for x := 0; x < numX; x++ {
+		var hx float64
+		for m := 0; m <= n; m++ {
+			for y := 0; y < 1<<uint(m); y++ {
+				cnt, err := EmbeddingCount(uint32(x), n, uint32(y), m)
+				if err != nil {
+					return 0, err
+				}
+				p := float64(cnt) * lenP[m]
+				if p > 0 {
+					py[outOffset[m]+y] += px * p
+					hx -= p * math.Log2(p)
+				}
+			}
+		}
+		hYgivenX += px * hx
+	}
+	var hY float64
+	for _, p := range py {
+		if p > 0 {
+			hY -= p * math.Log2(p)
+		}
+	}
+	rate := (hY - hYgivenX) / float64(n)
+	if rate < 0 {
+		rate = 0
+	}
+	return rate, nil
+}
+
+// MonteCarloUniformRate estimates I(X^n; Y)/n for i.i.d. uniform
+// inputs. The key simplification: for uniform i.i.d. inputs the
+// deletion channel's output law is closed-form — deletions are
+// value-independent and surviving bits are i.i.d. uniform, so
+// P(Y = y, |y| = m) = Binom(n, 1-pd)(m) * 2^(-m) and
+// H(Y) = H(M) + E[M] exactly. Only H(Y|X) = -E[log2 P(y|x)] is
+// estimated by sampling, with P(y|x) computed exactly per sample via
+// the embedding-count dynamic program, so the estimator is unbiased
+// with variance O(1/samples). n is limited to 20 so embedding counts
+// stay in range.
+func MonteCarloUniformRate(n int, pd float64, samples int, src *rng.Source) (float64, error) {
+	if n < 1 || n > 20 {
+		return 0, fmt.Errorf("delcap: blocklength %d out of [1,20]", n)
+	}
+	if pd < 0 || pd > 1 {
+		return 0, fmt.Errorf("delcap: deletion probability %v out of [0,1]", pd)
+	}
+	if samples < 1 {
+		return 0, fmt.Errorf("delcap: sample size must be positive")
+	}
+	if src == nil {
+		return 0, fmt.Errorf("delcap: nil randomness source")
+	}
+	if pd == 1 {
+		return 0, nil
+	}
+	// Exact H(Y) = H(M) + E[M] with M ~ Binomial(n, 1-pd).
+	var hM, eM float64
+	for m := 0; m <= n; m++ {
+		p := binomPMF(n, m, 1-pd)
+		if p > 0 {
+			hM -= p * math.Log2(p)
+			eM += p * float64(m)
+		}
+	}
+	hY := hM + eM
+
+	// Sampled H(Y|X) = -E[log2 p(y|x)].
+	var hYX float64
+	for s := 0; s < samples; s++ {
+		x := uint32(src.Uint64n(1 << uint(n)))
+		var y uint32
+		m := 0
+		for i := 0; i < n; i++ {
+			if !src.Bool(pd) {
+				y |= (x >> uint(i) & 1) << uint(m)
+				m++
+			}
+		}
+		pyx, err := transitionProb(x, n, y, m, pd)
+		if err != nil {
+			return 0, err
+		}
+		if pyx > 0 {
+			hYX -= math.Log2(pyx)
+		}
+	}
+	hYX /= float64(samples)
+
+	rate := (hY - hYX) / float64(n)
+	if rate < 0 {
+		rate = 0
+	}
+	return rate, nil
+}
+
+// binomPMF returns the Binomial(n, p) probability mass at k, computed
+// in log space for stability.
+func binomPMF(n, k int, p float64) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if p == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p == 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	lg, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	logP := lg - lk - lnk + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p)
+	return math.Exp(logP)
+}
+
+// transitionProb returns P(y | x) for the deletion channel.
+func transitionProb(x uint32, n int, y uint32, m int, pd float64) (float64, error) {
+	cnt, err := EmbeddingCount(x, n, y, m)
+	if err != nil {
+		return 0, err
+	}
+	if cnt == 0 {
+		return 0, nil
+	}
+	return float64(cnt) * math.Pow(pd, float64(n-m)) * math.Pow(1-pd, float64(m)), nil
+}
+
+// GallagerLowerBound returns the achievable rate 1 - H(pd), clamped
+// at 0 (valid as a lower bound for pd < 1/2).
+func GallagerLowerBound(pd float64) float64 {
+	if pd >= 0.5 {
+		return 0
+	}
+	c := 1 - infotheory.BinaryEntropy(pd)
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// ErasureUpperBound returns 1 - pd, the Theorem 1 bound.
+func ErasureUpperBound(pd float64) float64 { return 1 - pd }

@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/infotheory"
+	"repro/internal/mls"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/syncproto"
+)
+
+// E7CommonEvents reproduces the Figure 4 claim: a common event source
+// achieves no more capacity than a feedback path at matched parameters.
+func E7CommonEvents(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	t := Table{
+		ID:     "E7",
+		Title:  "Figure 4: common event source vs feedback at matched miss rates",
+		Header: []string{"N", "miss", "ARQ+feedback(bits/use)", "common-event(bits/use)", "event+senderpath(4b)", "no-sync(bits/use)", "ratio"},
+		Notes: []string{
+			"expected shape: ratio = event/feedback <= 1 everywhere (feedback dominates",
+			"common events); the Figure 4(b) sender-to-E path recovers reliability and",
+			"sits between the two; the uncoded no-sync strawman collapses toward 0",
+		},
+	}
+	const n = 4
+	msg := randomMessage(cfg.Seed+17, cfg.Symbols, n)
+	for _, miss := range []float64{0.05, 0.1, 0.2, 0.4} {
+		ch, err := channel.NewDeletionInsertion(channel.Params{N: n, Pd: miss}, rng.New(cfg.Seed+uint64(miss*100)))
+		if err != nil {
+			return Table{}, err
+		}
+		arq, err := syncproto.NewARQ(ch)
+		if err != nil {
+			return Table{}, err
+		}
+		resARQ, err := arq.Run(msg)
+		if err != nil {
+			return Table{}, err
+		}
+		ce, err := syncproto.NewCommonEvent(n, miss, miss, rng.New(cfg.Seed+uint64(miss*1000)))
+		if err != nil {
+			return Table{}, err
+		}
+		resCE, err := ce.Run(msg)
+		if err != nil {
+			return Table{}, err
+		}
+		ce4b, err := syncproto.NewCommonEvent(n, miss, miss, rng.New(cfg.Seed+uint64(miss*3000)))
+		if err != nil {
+			return Table{}, err
+		}
+		res4b, err := ce4b.RunWithSenderPath(msg)
+		if err != nil {
+			return Table{}, err
+		}
+		naiveCh, err := channel.NewDeletionInsertion(channel.Params{N: n, Pd: miss, Pi: miss},
+			rng.New(cfg.Seed+uint64(miss*2000)))
+		if err != nil {
+			return Table{}, err
+		}
+		naive, err := syncproto.NewNaive(naiveCh)
+		if err != nil {
+			return Table{}, err
+		}
+		resNaive, err := naive.Run(msg)
+		if err != nil {
+			return Table{}, err
+		}
+		ratio := 0.0
+		if resARQ.InfoRatePerUse() > 0 {
+			ratio = resCE.InfoRatePerUse() / resARQ.InfoRatePerUse()
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n), f3(miss), f4(resARQ.InfoRatePerUse()),
+			f4(resCE.InfoRatePerUse()), f4(res4b.InfoRatePerUse()),
+			f4(resNaive.InfoRatePerUse()), f3(ratio),
+		})
+	}
+	return t, nil
+}
+
+// E8Scheduler reproduces Section 3: each scheduling policy induces
+// measurable Pd/Pi on the shared-variable covert channel; the paper's
+// corrected estimate C(1-Pd) ranks the policies, and the traditional
+// synchronous estimate overstates every one of them.
+func E8Scheduler(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	t := Table{
+		ID:    "E8",
+		Title: "Section 3.1: scheduler-induced non-synchrony and corrected capacity",
+		Header: []string{
+			"policy", "Pd", "Pi", "C_sync(b/use)", "C_corrected", "session(b/quantum)",
+		},
+		Notes: []string{
+			"C_sync is the traditional synchronous estimate (N bits per use, N=4);",
+			"expected shape: C_corrected = C_sync*(1-Pd) < C_sync whenever Pd > 0,",
+			"and noise-injecting policies (fuzzy) rank lower than deterministic ones",
+		},
+	}
+	const n = 4
+	type policy struct {
+		name string
+		make func() (sched.Scheduler, error)
+	}
+	lottery := func() (sched.Scheduler, error) { return sched.NewLottery([]int{4, 1}) }
+	policies := []policy{
+		{"round-robin", func() (sched.Scheduler, error) { return sched.NewRoundRobin(), nil }},
+		{"priority-aging", func() (sched.Scheduler, error) { return sched.NewPriorityAging([]int{0, 0}, 1) }},
+		{"mlfq", func() (sched.Scheduler, error) { return sched.NewMLFQ(3, 64) }},
+		{"random", func() (sched.Scheduler, error) { return sched.NewRandom(), nil }},
+		{"lottery(4:1)", lottery},
+		{"fuzzy(rr,0.2)", func() (sched.Scheduler, error) { return sched.NewFuzzy(sched.NewRoundRobin(), 0.2) }},
+		{"fuzzy(rr,0.5)", func() (sched.Scheduler, error) { return sched.NewFuzzy(sched.NewRoundRobin(), 0.5) }},
+	}
+	msg := randomMessage(cfg.Seed+19, cfg.Symbols/10, n)
+	for _, pol := range policies {
+		s, err := pol.make()
+		if err != nil {
+			return Table{}, err
+		}
+		probe, err := sched.Run(sched.Config{Scheduler: s, Quanta: cfg.Quanta, Seed: cfg.Seed})
+		if err != nil {
+			return Table{}, err
+		}
+		pd, pi := probe.Rates()
+		cSync := float64(n)
+		cCorr, err := core.Degrade(cSync, pd)
+		if err != nil {
+			return Table{}, err
+		}
+		s2, err := pol.make()
+		if err != nil {
+			return Table{}, err
+		}
+		session, err := sched.RunCovertSession(sched.Config{
+			Scheduler: s2, Quanta: cfg.Quanta * 4, Seed: cfg.Seed + 1,
+		}, msg, n)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{
+			pol.name, f4(pd), f4(pi), f3(cSync), f3(cCorr), f4(session.BitsPerQuantum()),
+		})
+	}
+	return t, nil
+}
+
+// E9MLS reproduces Section 4.4: with the legal low-to-high flow as
+// feedback, the covert leak achieves the corrected capacity N(1-Pd).
+func E9MLS(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	t := Table{
+		ID:     "E9",
+		Title:  "Section 4.4: MLS legal flow as perfect feedback",
+		Header: []string{"N", "Pd", "Pi", "C_bound", "leak(bits/use)", "errors", "fb writes"},
+		Notes: []string{
+			"expected shape: leak rate approaches the bound; the reference monitor never",
+			"denies an access (every feedback step is a legal write-up/read)",
+		},
+	}
+	const n = 4
+	msg := randomMessage(cfg.Seed+23, cfg.Symbols, n)
+	for _, pp := range [][2]float64{{0.1, 0}, {0.25, 0}, {0.5, 0}, {0.2, 0.1}} {
+		p := channel.Params{N: n, Pd: pp[0], Pi: pp[1]}
+		sys := mls.NewSystem()
+		ex, err := mls.NewExploit(sys, p, cfg.Seed+uint64(pp[0]*100))
+		if err != nil {
+			return Table{}, err
+		}
+		res, err := ex.Leak(msg)
+		if err != nil {
+			return Table{}, err
+		}
+		bound, err := core.LowerBoundPerUse(p)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n), f3(p.Pd), f3(p.Pi), f4(bound), f4(res.InfoRatePerUse()),
+			fmt.Sprint(res.SymbolErrors), fmt.Sprint(res.FeedbackWrites),
+		})
+	}
+	return t, nil
+}
+
+// E10Baselines computes the traditional synchronous estimates
+// ([5][10][11]) and the paper's corrected values.
+func E10Baselines(cfg Config) (Table, error) {
+	cfg = cfg.withDefaults()
+	t := Table{
+		ID:     "E10",
+		Title:  "Related-work baselines corrected by (1-Pd) per Section 4.4",
+		Header: []string{"model", "C_sync(b/tick)", "Pd", "C_corrected", "overestimate"},
+		Notes: []string{
+			"expected shape: traditional estimates exceed corrected ones by 1/(1-Pd)",
+		},
+	}
+	stc12, err := baseline.NewSTC([]float64{1, 2})
+	if err != nil {
+		return Table{}, err
+	}
+	stc1111, err := baseline.NewSTC([]float64{1, 1, 1, 1})
+	if err != nil {
+		return Table{}, err
+	}
+	timedZ, err := baseline.NewTimedZ(1, 2, 0.1)
+	if err != nil {
+		return Table{}, err
+	}
+	type capper interface {
+		Capacity() (float64, error)
+		DegradedCapacity(float64) (float64, error)
+	}
+	models := []struct {
+		name string
+		c    capper
+	}{
+		{"Moskowitz STC {1,2}", stc12},
+		{"Moskowitz STC {1,1,1,1}", stc1111},
+		{"Millen FSM (ack channel)", baseline.ExampleAcknowledgedChannel()},
+		{"Timed Z-channel (1,2,p=0.1)", timedZ},
+	}
+	for _, m := range models {
+		for _, pd := range []float64{0.1, 0.3} {
+			cSync, err := m.c.Capacity()
+			if err != nil {
+				return Table{}, err
+			}
+			cCorr, err := m.c.DegradedCapacity(pd)
+			if err != nil {
+				return Table{}, err
+			}
+			over := 0.0
+			if cCorr > 0 {
+				over = cSync / cCorr
+			}
+			t.Rows = append(t.Rows, []string{
+				m.name, f4(cSync), f3(pd), f4(cCorr), f3(over),
+			})
+		}
+	}
+	// Cross-check row: the FSM capacity solver against the plain
+	// Shannon root for the example machine's equivalent durations.
+	shannon, err := infotheory.NoiselessTimingCapacity([]float64{2, 3})
+	if err != nil {
+		return Table{}, err
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("cross-check: Millen FSM capacity equals Shannon root log2 x0 = %.4f", shannon))
+	return t, nil
+}

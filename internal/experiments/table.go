@@ -1,0 +1,146 @@
+// Package experiments implements the reproduction harness: one function
+// per experiment in DESIGN.md's index (E1–E10), each returning a
+// printable table whose rows are the quantities the paper derives or
+// claims. cmd/experiments regenerates every table; bench_test.go wraps
+// each in a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	// ID is the experiment identifier (E1..E10).
+	ID string
+	// Title describes the paper artifact being reproduced.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows holds the formatted cells.
+	Rows [][]string
+	// Notes carries caveats and the expected shape of the results.
+	Notes []string
+}
+
+// Format writes the table as aligned text.
+func (t Table) Format(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", lineWidth(widths))); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func lineWidth(widths []int) int {
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	if total >= 2 {
+		total -= 2
+	}
+	return total
+}
+
+// f3 formats a float with three decimals.
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// f4 formats a float with four decimals.
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// Config scales the simulations; the zero value selects defaults
+// suitable for tests and benchmarks (a few hundred milliseconds per
+// experiment).
+type Config struct {
+	// Symbols is the message length for protocol simulations
+	// (default 20000).
+	Symbols int
+	// CodedSymbols is the message length for coding experiments
+	// (default 200).
+	CodedSymbols int
+	// Quanta is the scheduler simulation length (default 200000).
+	Quanta int
+	// Seed drives all randomness (default 1).
+	Seed uint64
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Symbols == 0 {
+		c.Symbols = 20000
+	}
+	if c.CodedSymbols == 0 {
+		c.CodedSymbols = 200
+	}
+	if c.Quanta == 0 {
+		c.Quanta = 200000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// All runs every experiment in order.
+func All(cfg Config) ([]Table, error) {
+	runs := []func(Config) (Table, error){
+		E1UpperBound,
+		E2FeedbackARQ,
+		E3CounterProtocol,
+		E4Convergence,
+		E5BlahutArimoto,
+		E6NoSyncCoding,
+		E7CommonEvents,
+		E8Scheduler,
+		E9MLS,
+		E10Baselines,
+		E11DeletionRates,
+		E12TimingChannel,
+	}
+	tables := make([]Table, 0, len(runs))
+	for _, run := range runs {
+		t, err := run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

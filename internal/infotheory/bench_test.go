@@ -1,0 +1,46 @@
+package infotheory
+
+import "testing"
+
+func BenchmarkBlahutArimotoMSC64(b *testing.B) {
+	c, err := MSC(64, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Capacity(1e-9, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCapacityPerCostZ(b *testing.B) {
+	z, err := ZChannel(0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	costs := []float64{1, 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := z.CapacityPerCost(costs, 1e-9, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFSMCapacity(b *testing.B) {
+	trs := []FSMTransition{
+		{From: 0, To: 1, Duration: 1},
+		{From: 0, To: 1, Duration: 2},
+		{From: 1, To: 0, Duration: 1},
+		{From: 1, To: 2, Duration: 3},
+		{From: 2, To: 0, Duration: 1},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FSMCapacity(3, trs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

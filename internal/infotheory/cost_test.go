@@ -1,0 +1,124 @@
+package infotheory
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCapacityPerCostValidation(t *testing.T) {
+	c, err := BSC(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.CapacityPerCost([]float64{1}, 0, 0); err == nil {
+		t.Error("expected length error")
+	}
+	if _, _, err := c.CapacityPerCost([]float64{1, 0}, 0, 0); err == nil {
+		t.Error("expected positivity error")
+	}
+	if _, _, err := c.CapacityPerCost([]float64{1, math.NaN()}, 0, 0); err == nil {
+		t.Error("expected NaN error")
+	}
+}
+
+func TestCapacityPerCostUnitCostsEqualCapacity(t *testing.T) {
+	// With all costs 1 the per-cost capacity equals the plain capacity.
+	for _, p := range []float64{0, 0.1, 0.3} {
+		c, err := BSC(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perCost, _, err := c.CapacityPerCost([]float64{1, 1}, 1e-10, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := BSCCapacity(p); math.Abs(perCost-want) > 1e-6 {
+			t.Errorf("p=%v: per-cost capacity %v, want %v", p, perCost, want)
+		}
+	}
+}
+
+func TestCapacityPerCostNoiselessMatchesShannonRoot(t *testing.T) {
+	// Noiseless binary channel with durations {1, 2}: the per-cost
+	// capacity is Shannon's log2 of the root of x^-1 + x^-2 = 1.
+	c, err := NewDMC([][]float64{{1, 0}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perCost, q, err := c.CapacityPerCost([]float64{1, 2}, 1e-10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NoiselessTimingCapacity([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(perCost-want) > 1e-6 {
+		t.Fatalf("per-cost capacity %v, want Shannon root %v", perCost, want)
+	}
+	// The optimizing distribution favours the cheaper symbol.
+	if q[0] <= q[1] {
+		t.Fatalf("optimizer %v should favour the cheap symbol", q)
+	}
+}
+
+func TestCapacityPerCostTimedZMatchesGoldenSection(t *testing.T) {
+	// The generic solver must agree with a direct scan over the
+	// Z-channel's input distribution.
+	const flip = 0.2
+	z, err := ZChannel(flip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := []float64{1, 3}
+	perCost, _, err := z.CapacityPerCost(costs, 1e-10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0.0
+	for q1 := 0.001; q1 < 1; q1 += 0.001 {
+		mi, err := z.MutualInformation([]float64{1 - q1, q1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := mi / ((1-q1)*costs[0] + q1*costs[1]); r > best {
+			best = r
+		}
+	}
+	if math.Abs(perCost-best) > 1e-4 {
+		t.Fatalf("per-cost capacity %v, grid scan %v", perCost, best)
+	}
+}
+
+func TestCapacityPerCostUselessChannel(t *testing.T) {
+	c, err := NewDMC([][]float64{{0.5, 0.5}, {0.5, 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perCost, _, err := c.CapacityPerCost([]float64{1, 2}, 1e-10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perCost > 1e-6 {
+		t.Fatalf("useless channel per-cost capacity %v, want 0", perCost)
+	}
+}
+
+func TestCapacityPerCostScaling(t *testing.T) {
+	// Doubling all costs halves the per-cost capacity.
+	c, err := BSC(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _, err := c.CapacityPerCost([]float64{1, 2}, 1e-10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := c.CapacityPerCost([]float64{2, 4}, 1e-10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-2*b) > 1e-6 {
+		t.Fatalf("scaling violated: %v vs %v", a, 2*b)
+	}
+}

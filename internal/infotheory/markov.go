@@ -1,0 +1,74 @@
+package infotheory
+
+import (
+	"fmt"
+	"math"
+)
+
+// StationaryDistribution returns the stationary distribution of a
+// row-stochastic transition matrix by power iteration. The chain must
+// be non-empty and square; for periodic chains the iteration runs on
+// the lazy chain (I + P)/2, which has the same stationary distribution
+// and always converges for irreducible chains.
+func StationaryDistribution(p [][]float64) ([]float64, error) {
+	n := len(p)
+	if n == 0 {
+		return nil, fmt.Errorf("infotheory: empty chain")
+	}
+	for i, row := range p {
+		if len(row) != n {
+			return nil, fmt.Errorf("infotheory: row %d has %d entries, want %d", i, len(row), n)
+		}
+		if err := validateDist(row); err != nil {
+			return nil, fmt.Errorf("infotheory: row %d: %w", i, err)
+		}
+	}
+	pi := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	next := make([]float64, n)
+	for iter := 0; iter < 100000; iter++ {
+		for j := range next {
+			next[j] = 0
+		}
+		for i := range pi {
+			// Lazy step: stay with probability 1/2.
+			next[i] += pi[i] / 2
+			for j := range p[i] {
+				next[j] += pi[i] * p[i][j] / 2
+			}
+		}
+		var delta float64
+		for i := range pi {
+			delta += math.Abs(next[i] - pi[i])
+		}
+		copy(pi, next)
+		if delta < 1e-14 {
+			break
+		}
+	}
+	return pi, nil
+}
+
+// MarkovEntropyRate returns the entropy rate in bits per step of a
+// stationary Markov chain with the given row-stochastic transition
+// matrix: H = -sum_i pi_i sum_j P_ij log2 P_ij. For the bursty channel
+// of package channel this measures how predictable the Good/Bad
+// modulation is (0 for deterministic switching, at most 1 bit for a
+// two-state chain).
+func MarkovEntropyRate(p [][]float64) (float64, error) {
+	pi, err := StationaryDistribution(p)
+	if err != nil {
+		return 0, err
+	}
+	var h float64
+	for i, row := range p {
+		for _, pij := range row {
+			if pij > 0 {
+				h -= pi[i] * pij * math.Log2(pij)
+			}
+		}
+	}
+	return h, nil
+}

@@ -1,0 +1,87 @@
+package infotheory
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStationaryDistributionValidation(t *testing.T) {
+	if _, err := StationaryDistribution(nil); err == nil {
+		t.Error("expected empty chain error")
+	}
+	if _, err := StationaryDistribution([][]float64{{1, 0}, {1}}); err == nil {
+		t.Error("expected ragged matrix error")
+	}
+	if _, err := StationaryDistribution([][]float64{{0.5, 0.4}, {0.5, 0.5}}); err == nil {
+		t.Error("expected unnormalized row error")
+	}
+}
+
+func TestStationaryDistributionTwoState(t *testing.T) {
+	// P(G->B) = 0.1, P(B->G) = 0.4: pi = (0.8, 0.2).
+	p := [][]float64{{0.9, 0.1}, {0.4, 0.6}}
+	pi, err := StationaryDistribution(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(pi[0], 0.8, 1e-9) || !almostEqual(pi[1], 0.2, 1e-9) {
+		t.Fatalf("stationary = %v, want [0.8, 0.2]", pi)
+	}
+}
+
+func TestStationaryDistributionPeriodicChain(t *testing.T) {
+	// A deterministic 2-cycle is periodic; the lazy iteration must
+	// still converge to the uniform stationary distribution.
+	p := [][]float64{{0, 1}, {1, 0}}
+	pi, err := StationaryDistribution(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(pi[0], 0.5, 1e-9) || !almostEqual(pi[1], 0.5, 1e-9) {
+		t.Fatalf("stationary = %v, want uniform", pi)
+	}
+}
+
+func TestMarkovEntropyRateIIDChain(t *testing.T) {
+	// Rows identical to (q, 1-q): the chain is i.i.d. with entropy H(q).
+	q := 0.3
+	p := [][]float64{{q, 1 - q}, {q, 1 - q}}
+	h, err := MarkovEntropyRate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(h, BinaryEntropy(q), 1e-9) {
+		t.Fatalf("entropy rate %v, want H(%v) = %v", h, q, BinaryEntropy(q))
+	}
+}
+
+func TestMarkovEntropyRateDeterministic(t *testing.T) {
+	p := [][]float64{{0, 1}, {1, 0}}
+	h, err := MarkovEntropyRate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 0 {
+		t.Fatalf("deterministic chain entropy rate %v, want 0", h)
+	}
+}
+
+func TestMarkovEntropyRateBounded(t *testing.T) {
+	// Sticky chains have lower entropy rate than their i.i.d.
+	// marginals; all rates stay within [0, log2 n].
+	sticky := [][]float64{{0.95, 0.05}, {0.2, 0.8}}
+	h, err := MarkovEntropyRate(sticky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h <= 0 || h >= 1 {
+		t.Fatalf("entropy rate %v out of (0, 1)", h)
+	}
+	// The stationary marginal is (0.8, 0.2); i.i.d. entropy H(0.2).
+	if h >= BinaryEntropy(0.2) {
+		t.Fatalf("sticky chain rate %v should be below marginal entropy %v", h, BinaryEntropy(0.2))
+	}
+	if math.IsNaN(h) {
+		t.Fatal("NaN entropy rate")
+	}
+}

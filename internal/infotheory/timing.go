@@ -1,0 +1,166 @@
+package infotheory
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the "traditional" synchronous capacity estimates
+// the paper contrasts with: Shannon's capacity of a discrete noiseless
+// channel whose symbols have unequal durations, and Millen's
+// finite-state noiseless covert channel capacity [5], which generalizes
+// it to state-dependent symbol sets. Both assume a synchronous channel;
+// Section 4.4 of the paper corrects them by the factor (1 - Pd).
+
+// NoiselessTimingCapacity returns the capacity in bits per unit time of
+// a noiseless channel with the given positive symbol durations:
+// C = log2(X0) where X0 is the largest real root of sum_i X^(-t_i) = 1
+// (Shannon 1948; used for Moskowitz's Simple Timing Channels [10]).
+// It returns an error if no duration is given or any is non-positive.
+func NoiselessTimingCapacity(durations []float64) (float64, error) {
+	if len(durations) == 0 {
+		return 0, fmt.Errorf("infotheory: no symbol durations")
+	}
+	tmin := math.Inf(1)
+	for i, t := range durations {
+		if t <= 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+			return 0, fmt.Errorf("infotheory: duration %d is %v, want positive finite", i, t)
+		}
+		if t < tmin {
+			tmin = t
+		}
+	}
+	if len(durations) == 1 {
+		return 0, nil // a single symbol conveys no information
+	}
+	f := func(x float64) float64 {
+		var s float64
+		for _, t := range durations {
+			s += math.Pow(x, -t)
+		}
+		return s
+	}
+	// f is strictly decreasing for x > 1 with f(1) = k >= 2 and
+	// f(k^(1/tmin)) <= 1, so the root is bracketed.
+	lo, hi := 1.0, math.Pow(float64(len(durations)), 1/tmin)
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) > 1 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return math.Log2((lo + hi) / 2), nil
+}
+
+// FSMTransition is one transition of a finite-state noiseless channel:
+// from state From, emitting one distinguishable symbol, taking Duration
+// time units, ending in state To.
+type FSMTransition struct {
+	From, To int
+	Duration float64
+}
+
+// FSMCapacity returns the capacity in bits per unit time of a
+// finite-state noiseless channel with the given number of states and
+// transitions (Millen [5], after Shannon): C = log2(z0) where z0 makes
+// the spectral radius of B(z), B(z)[i][j] = sum over transitions i->j of
+// z^(-duration), equal to 1.
+//
+// The transition graph must be non-empty with valid state indices and
+// positive durations; states with no outgoing transitions are permitted
+// (they simply cannot sustain long sequences). If the graph supports no
+// two distinct unbounded sequences, the capacity is 0.
+func FSMCapacity(states int, transitions []FSMTransition) (float64, error) {
+	if states < 1 {
+		return 0, fmt.Errorf("infotheory: FSM needs at least one state, got %d", states)
+	}
+	if len(transitions) == 0 {
+		return 0, fmt.Errorf("infotheory: FSM has no transitions")
+	}
+	for i, tr := range transitions {
+		if tr.From < 0 || tr.From >= states || tr.To < 0 || tr.To >= states {
+			return 0, fmt.Errorf("infotheory: transition %d references invalid state (%d -> %d of %d)",
+				i, tr.From, tr.To, states)
+		}
+		if tr.Duration <= 0 || math.IsNaN(tr.Duration) || math.IsInf(tr.Duration, 0) {
+			return 0, fmt.Errorf("infotheory: transition %d duration %v, want positive finite", i, tr.Duration)
+		}
+	}
+	rho := func(z float64) float64 {
+		b := make([][]float64, states)
+		for i := range b {
+			b[i] = make([]float64, states)
+		}
+		for _, tr := range transitions {
+			b[tr.From][tr.To] += math.Pow(z, -tr.Duration)
+		}
+		return spectralRadius(b)
+	}
+	// rho is strictly decreasing in z for z >= 1. If rho(1) <= 1 the
+	// graph cannot sustain more than one unbounded symbol sequence and
+	// the capacity is 0 (rho(1) is the spectral radius of the plain
+	// adjacency/multiplicity matrix).
+	if rho(1) <= 1+1e-12 {
+		return 0, nil
+	}
+	lo, hi := 1.0, 2.0
+	for rho(hi) > 1 {
+		hi *= 2
+		if hi > 1e12 {
+			return 0, fmt.Errorf("infotheory: FSM capacity root exceeds bracket")
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if rho(mid) > 1 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return math.Log2((lo + hi) / 2), nil
+}
+
+// spectralRadius estimates the Perron root of a non-negative matrix by
+// power iteration. Periodic matrices (for example a pure two-state
+// cycle) make plain power iteration oscillate, so the iteration runs on
+// the shifted matrix M + I, which is aperiodic and satisfies
+// rho(M + I) = rho(M) + 1 for non-negative M.
+func spectralRadius(m [][]float64) float64 {
+	n := len(m)
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1 / float64(n)
+	}
+	next := make([]float64, n)
+	radius := 0.0
+	for iter := 0; iter < 2000; iter++ {
+		var norm float64
+		for i := 0; i < n; i++ {
+			s := v[i] // the +I shift
+			for j := 0; j < n; j++ {
+				s += m[i][j] * v[j]
+			}
+			next[i] = s
+			norm += s
+		}
+		// norm >= 1 always because of the shift; with v normalized to
+		// sum 1 it converges to rho(M + I).
+		prev := radius
+		radius = norm
+		for i := range next {
+			next[i] /= norm
+		}
+		v, next = next, v
+		if iter > 10 && math.Abs(radius-prev) < 1e-14*math.Max(1, radius) {
+			break
+		}
+	}
+	r := radius - 1
+	if r < 0 {
+		r = 0
+	}
+	return r
+}

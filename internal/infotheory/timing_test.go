@@ -1,0 +1,194 @@
+package infotheory
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNoiselessTimingCapacityEqualDurations(t *testing.T) {
+	// k symbols of unit duration: C = log2(k).
+	for _, k := range []int{2, 4, 8} {
+		durations := make([]float64, k)
+		for i := range durations {
+			durations[i] = 1
+		}
+		c, err := NoiselessTimingCapacity(durations)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(c, math.Log2(float64(k)), 1e-9) {
+			t.Errorf("capacity(%d unit symbols) = %v, want %v", k, c, math.Log2(float64(k)))
+		}
+	}
+}
+
+func TestNoiselessTimingCapacityScaling(t *testing.T) {
+	// Scaling all durations by s divides the capacity by s.
+	c1, err := NoiselessTimingCapacity([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NoiselessTimingCapacity([]float64{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(c1, 2*c2, 1e-9) {
+		t.Fatalf("scaling property violated: %v vs %v", c1, 2*c2)
+	}
+}
+
+func TestNoiselessTimingCapacityTelegraph(t *testing.T) {
+	// Shannon's classic example sanity check: durations {1, 2} give
+	// C = log2(golden ratio) since x^-1 + x^-2 = 1 => x = phi.
+	c, err := NoiselessTimingCapacity([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := (1 + math.Sqrt(5)) / 2
+	if !almostEqual(c, math.Log2(phi), 1e-9) {
+		t.Fatalf("capacity({1,2}) = %v, want log2(phi) = %v", c, math.Log2(phi))
+	}
+}
+
+func TestNoiselessTimingCapacitySingleSymbol(t *testing.T) {
+	c, err := NoiselessTimingCapacity([]float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 0 {
+		t.Fatalf("single-symbol capacity = %v, want 0", c)
+	}
+}
+
+func TestNoiselessTimingCapacityErrors(t *testing.T) {
+	if _, err := NoiselessTimingCapacity(nil); err == nil {
+		t.Error("expected error for empty durations")
+	}
+	if _, err := NoiselessTimingCapacity([]float64{1, 0}); err == nil {
+		t.Error("expected error for zero duration")
+	}
+	if _, err := NoiselessTimingCapacity([]float64{1, -2}); err == nil {
+		t.Error("expected error for negative duration")
+	}
+	if _, err := NoiselessTimingCapacity([]float64{1, math.Inf(1)}); err == nil {
+		t.Error("expected error for infinite duration")
+	}
+}
+
+func TestNoiselessTimingMoreSymbolsMoreCapacity(t *testing.T) {
+	c2, err := NoiselessTimingCapacity([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3, err := NoiselessTimingCapacity([]float64{1, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3 <= c2 {
+		t.Fatalf("adding a symbol should raise capacity: %v vs %v", c3, c2)
+	}
+}
+
+func TestFSMCapacitySingleStateEqualsTiming(t *testing.T) {
+	// One state with self-loop transitions of durations t_i reduces to
+	// the plain noiseless timing channel.
+	durations := []float64{1, 2, 3}
+	trs := make([]FSMTransition, len(durations))
+	for i, d := range durations {
+		trs[i] = FSMTransition{From: 0, To: 0, Duration: d}
+	}
+	fsm, err := FSMCapacity(1, trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NoiselessTimingCapacity(durations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fsm, plain, 1e-9) {
+		t.Fatalf("FSM capacity %v != timing capacity %v", fsm, plain)
+	}
+}
+
+func TestFSMCapacityTwoStateCycle(t *testing.T) {
+	// Two states, two unit-duration transitions each way: sequences
+	// alternate between 2 choices per step... with 2 parallel
+	// transitions 0->1 and 2 parallel 1->0 (all unit duration), the
+	// adjacency has spectral radius 2, so C = 1 bit per unit time.
+	trs := []FSMTransition{
+		{From: 0, To: 1, Duration: 1},
+		{From: 0, To: 1, Duration: 1},
+		{From: 1, To: 0, Duration: 1},
+		{From: 1, To: 0, Duration: 1},
+	}
+	c, err := FSMCapacity(2, trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(c, 1, 1e-9) {
+		t.Fatalf("two-state cycle capacity = %v, want 1", c)
+	}
+}
+
+func TestFSMCapacityDeterministicCycleIsZero(t *testing.T) {
+	// A single forced cycle conveys no information.
+	trs := []FSMTransition{
+		{From: 0, To: 1, Duration: 1},
+		{From: 1, To: 0, Duration: 2},
+	}
+	c, err := FSMCapacity(2, trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 0 {
+		t.Fatalf("forced-cycle capacity = %v, want 0", c)
+	}
+}
+
+func TestFSMCapacityMillenExample(t *testing.T) {
+	// A state machine where state 0 offers a fast (1) and a slow (2)
+	// self-loop: same as the telegraph channel, C = log2(phi).
+	trs := []FSMTransition{
+		{From: 0, To: 0, Duration: 1},
+		{From: 0, To: 0, Duration: 2},
+	}
+	c, err := FSMCapacity(1, trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi := (1 + math.Sqrt(5)) / 2
+	if !almostEqual(c, math.Log2(phi), 1e-9) {
+		t.Fatalf("capacity = %v, want %v", c, math.Log2(phi))
+	}
+}
+
+func TestFSMCapacityUnreachableBranchIgnored(t *testing.T) {
+	// State 2 is a dead end; capacity is governed by the core loop.
+	trs := []FSMTransition{
+		{From: 0, To: 0, Duration: 1},
+		{From: 0, To: 0, Duration: 1},
+		{From: 0, To: 1, Duration: 1},
+	}
+	c, err := FSMCapacity(2, trs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(c, 1, 1e-9) {
+		t.Fatalf("capacity = %v, want 1", c)
+	}
+}
+
+func TestFSMCapacityErrors(t *testing.T) {
+	if _, err := FSMCapacity(0, []FSMTransition{{From: 0, To: 0, Duration: 1}}); err == nil {
+		t.Error("expected error for zero states")
+	}
+	if _, err := FSMCapacity(2, nil); err == nil {
+		t.Error("expected error for no transitions")
+	}
+	if _, err := FSMCapacity(2, []FSMTransition{{From: 0, To: 5, Duration: 1}}); err == nil {
+		t.Error("expected error for invalid state index")
+	}
+	if _, err := FSMCapacity(2, []FSMTransition{{From: 0, To: 1, Duration: -1}}); err == nil {
+		t.Error("expected error for negative duration")
+	}
+}

@@ -1,0 +1,231 @@
+// Package mls implements the paper's Section 4.4 multi-level-security
+// scenario: in an MLS system the legal information flow (low to high)
+// can serve as a perfect feedback path for a high-to-low covert
+// channel, so "covert channels in MLS systems are relatively easy to
+// exploit in general and tend to be fast" — the synchronized capacity
+// C*(1-Pd) is practically achievable with the simple counter protocol.
+//
+// The package models a two-level system with a Bell–LaPadula reference
+// monitor (no read up, no write down), a covert high-to-low path built
+// on a shared resource attribute subject to Definition 1 non-synchrony,
+// and the exploit that routes the receiver's counter back up through a
+// perfectly legal write-up.
+package mls
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Level is a security level in the two-level lattice.
+type Level int
+
+// The two levels of the lattice.
+const (
+	Low Level = iota + 1
+	High
+)
+
+// String returns the level name.
+func (l Level) String() string {
+	switch l {
+	case Low:
+		return "low"
+	case High:
+		return "high"
+	default:
+		return "invalid"
+	}
+}
+
+// CanRead implements the simple security property: a subject may read
+// an object only at or below its own level (no read up).
+func CanRead(subject, object Level) bool { return subject >= object }
+
+// CanWrite implements the *-property: a subject may write an object
+// only at or above its own level (no write down).
+func CanWrite(subject, object Level) bool { return subject <= object }
+
+// AccessError reports a reference-monitor denial.
+type AccessError struct {
+	Op      string
+	Subject Level
+	Object  Level
+}
+
+// Error implements the error interface.
+func (e *AccessError) Error() string {
+	return fmt.Sprintf("mls: %s subject may not %s %s object", e.Subject, e.Op, e.Object)
+}
+
+// object is a labeled storage cell.
+type object struct {
+	level Level
+	value uint32
+}
+
+// System is a two-level MLS machine with labeled objects behind a
+// reference monitor.
+type System struct {
+	objects map[string]*object
+}
+
+// NewSystem returns an empty system.
+func NewSystem() *System {
+	return &System{objects: make(map[string]*object)}
+}
+
+// Create adds an object at the given level. It returns an error if the
+// name is taken or the level invalid.
+func (s *System) Create(name string, level Level) error {
+	if level != Low && level != High {
+		return fmt.Errorf("mls: invalid level %d", level)
+	}
+	if _, ok := s.objects[name]; ok {
+		return fmt.Errorf("mls: object %q already exists", name)
+	}
+	s.objects[name] = &object{level: level}
+	return nil
+}
+
+// Read returns the object's value if the monitor allows the access.
+func (s *System) Read(subject Level, name string) (uint32, error) {
+	obj, ok := s.objects[name]
+	if !ok {
+		return 0, fmt.Errorf("mls: no object %q", name)
+	}
+	if !CanRead(subject, obj.level) {
+		return 0, &AccessError{Op: "read", Subject: subject, Object: obj.level}
+	}
+	return obj.value, nil
+}
+
+// Write stores a value if the monitor allows the access.
+func (s *System) Write(subject Level, name string, v uint32) error {
+	obj, ok := s.objects[name]
+	if !ok {
+		return fmt.Errorf("mls: no object %q", name)
+	}
+	if !CanWrite(subject, obj.level) {
+		return &AccessError{Op: "write", Subject: subject, Object: obj.level}
+	}
+	obj.value = v
+	return nil
+}
+
+// Exploit is the Section 4.4 attack: a High sender leaks a message to a
+// Low receiver over a non-synchronous covert path (Definition 1
+// parameters), using a legal Low-to-High object as the feedback path
+// carrying the receiver's counter, and the Appendix A counter protocol
+// for synchronization.
+type Exploit struct {
+	sys *System
+	ch  *channel.DeletionInsertion
+	// ackName is the High-level object used as the legal feedback path.
+	ackName string
+}
+
+// NewExploit wires an exploit into the system. The covert path's
+// parameters model the non-synchrony of the shared-resource channel.
+func NewExploit(sys *System, params channel.Params, seed uint64) (*Exploit, error) {
+	if sys == nil {
+		return nil, fmt.Errorf("mls: nil system")
+	}
+	ch, err := channel.NewDeletionInsertion(params, rng.New(seed))
+	if err != nil {
+		return nil, err
+	}
+	const ackName = "covert-ack"
+	if _, ok := sys.objects[ackName]; !ok {
+		if err := sys.Create(ackName, High); err != nil {
+			return nil, err
+		}
+	}
+	return &Exploit{sys: sys, ch: ch, ackName: ackName}, nil
+}
+
+// Result of one leak.
+type Result struct {
+	// Uses is the number of covert channel uses.
+	Uses int
+	// Delivered is the number of message positions resolved at Low.
+	Delivered int
+	// SymbolErrors counts wrong delivered positions.
+	SymbolErrors int
+	// MutualInfoPerSlot is the empirical per-slot mutual information.
+	MutualInfoPerSlot float64
+	// FeedbackWrites counts legal Low-to-High acknowledgement writes.
+	FeedbackWrites int
+}
+
+// InfoRatePerUse returns the measured leak rate in bits per channel use.
+func (r Result) InfoRatePerUse() float64 {
+	if r.Uses == 0 {
+		return 0
+	}
+	return float64(r.Delivered) / float64(r.Uses) * r.MutualInfoPerSlot
+}
+
+// Leak transmits msg from High to Low. Every feedback step goes through
+// the reference monitor as a legal Low write / High read of the ack
+// object; any denial is returned as an error (none should occur — that
+// is the point of the scenario).
+func (e *Exploit) Leak(msg []uint32) (Result, error) {
+	p := e.ch.Params()
+	limit := uint32(1) << uint(p.N)
+	for i, s := range msg {
+		if s >= limit {
+			return Result{}, fmt.Errorf("mls: message symbol %d (=%d) outside %d-bit alphabet", i, s, p.N)
+		}
+	}
+	var res Result
+	received := make([]uint32, 0, len(msg))
+	sent := 0
+	for len(received) < len(msg) {
+		// High reads the receiver counter over the legal path.
+		ack, err := e.sys.Read(High, e.ackName)
+		if err != nil {
+			return Result{}, fmt.Errorf("mls: feedback read: %w", err)
+		}
+		if int(ack) > sent {
+			sent = int(ack) // skip past inserted slots
+		}
+		res.Uses++
+		u := e.ch.Use(msg[sent])
+		switch u.Kind {
+		case channel.EventDelete:
+			// Lost; resend on the next opportunity.
+		case channel.EventInsert:
+			received = append(received, u.Delivered)
+		default:
+			received = append(received, u.Delivered)
+			sent++
+		}
+		if len(received) > len(msg) {
+			received = received[:len(msg)]
+		}
+		// Low acknowledges its count over the legal write-up path.
+		if err := e.sys.Write(Low, e.ackName, uint32(len(received))); err != nil {
+			return Result{}, fmt.Errorf("mls: feedback write: %w", err)
+		}
+		res.FeedbackWrites++
+	}
+	res.Delivered = len(received)
+	jc, err := stats.NewJointCounter(int(limit), int(limit))
+	if err != nil {
+		return Result{}, err
+	}
+	for k, got := range received {
+		if got != msg[k] {
+			res.SymbolErrors++
+		}
+		if err := jc.Add(int(msg[k]), int(got)); err != nil {
+			return Result{}, err
+		}
+	}
+	res.MutualInfoPerSlot = jc.MutualInformation()
+	return res, nil
+}

@@ -1,0 +1,196 @@
+package mls
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+func TestBellLaPadulaMatrix(t *testing.T) {
+	tests := []struct {
+		subject, object Level
+		read, write     bool
+	}{
+		{Low, Low, true, true},
+		{Low, High, false, true}, // no read up; write up legal
+		{High, Low, true, false}, // read down legal; no write down
+		{High, High, true, true},
+	}
+	for _, tt := range tests {
+		if got := CanRead(tt.subject, tt.object); got != tt.read {
+			t.Errorf("CanRead(%v, %v) = %v, want %v", tt.subject, tt.object, got, tt.read)
+		}
+		if got := CanWrite(tt.subject, tt.object); got != tt.write {
+			t.Errorf("CanWrite(%v, %v) = %v, want %v", tt.subject, tt.object, got, tt.write)
+		}
+	}
+}
+
+func TestSystemEnforcesMonitor(t *testing.T) {
+	sys := NewSystem()
+	if err := sys.Create("secret", High); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Create("public", Low); err != nil {
+		t.Fatal(err)
+	}
+
+	// Legal: High writes High, Low reads Low.
+	if err := sys.Write(High, "secret", 42); err != nil {
+		t.Fatalf("legal write denied: %v", err)
+	}
+	if _, err := sys.Read(Low, "public"); err != nil {
+		t.Fatalf("legal read denied: %v", err)
+	}
+
+	// Illegal: Low reads High (read up).
+	_, err := sys.Read(Low, "secret")
+	var denied *AccessError
+	if !errors.As(err, &denied) {
+		t.Fatalf("read up allowed: %v", err)
+	}
+	if denied.Op != "read" {
+		t.Errorf("denial op = %q", denied.Op)
+	}
+
+	// Illegal: High writes Low (write down) — the flow the covert
+	// channel circumvents.
+	if err := sys.Write(High, "public", 1); !errors.As(err, &denied) {
+		t.Fatalf("write down allowed: %v", err)
+	}
+
+	// Legal: Low writes High (write up) — the feedback path.
+	if err := sys.Write(Low, "secret", 7); err != nil {
+		t.Fatalf("write up denied: %v", err)
+	}
+}
+
+func TestSystemObjectErrors(t *testing.T) {
+	sys := NewSystem()
+	if err := sys.Create("x", Level(9)); err == nil {
+		t.Error("expected invalid level error")
+	}
+	if err := sys.Create("x", Low); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Create("x", Low); err == nil {
+		t.Error("expected duplicate error")
+	}
+	if _, err := sys.Read(High, "missing"); err == nil {
+		t.Error("expected missing object error")
+	}
+	if err := sys.Write(High, "missing", 0); err == nil {
+		t.Error("expected missing object error")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if Low.String() != "low" || High.String() != "high" || Level(0).String() != "invalid" {
+		t.Fatal("Level.String mismatch")
+	}
+}
+
+func TestExploitAchievesDegradedCapacity(t *testing.T) {
+	// E9: the exploit's measured rate should approach the paper's
+	// corrected capacity N*(1-Pd) despite the reference monitor.
+	p := channel.Params{N: 4, Pd: 0.25}
+	sys := NewSystem()
+	ex, err := NewExploit(sys, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(2)
+	msg := make([]uint32, 20000)
+	for i := range msg {
+		msg[i] = src.Symbol(4)
+	}
+	res, err := ex.Leak(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SymbolErrors != 0 {
+		t.Fatalf("deletion-only leak had %d errors", res.SymbolErrors)
+	}
+	want, err := core.UpperBound(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.InfoRatePerUse(); math.Abs(got-want) > 0.15 {
+		t.Fatalf("leak rate %v, want ~%v", got, want)
+	}
+	if res.FeedbackWrites == 0 {
+		t.Fatal("feedback path unused")
+	}
+}
+
+func TestExploitWithInsertions(t *testing.T) {
+	p := channel.Params{N: 4, Pd: 0.15, Pi: 0.1}
+	sys := NewSystem()
+	ex, err := NewExploit(sys, p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(4)
+	msg := make([]uint32, 20000)
+	for i := range msg {
+		msg[i] = src.Symbol(4)
+	}
+	res, err := ex.Leak(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SymbolErrors == 0 {
+		t.Fatal("insertions should cause slot errors")
+	}
+	lower, err := core.LowerBoundPerUse(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upper, err := core.UpperBound(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.InfoRatePerUse()
+	if got < lower-0.15 || got > upper+0.15 {
+		t.Fatalf("leak rate %v outside [%v, %v]", got, lower, upper)
+	}
+}
+
+func TestExploitValidation(t *testing.T) {
+	if _, err := NewExploit(nil, channel.Params{N: 1}, 1); err == nil {
+		t.Error("expected nil system error")
+	}
+	if _, err := NewExploit(NewSystem(), channel.Params{N: 0}, 1); err == nil {
+		t.Error("expected params error")
+	}
+	sys := NewSystem()
+	ex, err := NewExploit(sys, channel.Params{N: 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Leak([]uint32{9}); err == nil {
+		t.Error("expected alphabet error")
+	}
+}
+
+func TestExploitReusesAckObject(t *testing.T) {
+	sys := NewSystem()
+	if _, err := NewExploit(sys, channel.Params{N: 2}, 1); err != nil {
+		t.Fatal(err)
+	}
+	// A second exploit on the same system must not fail on Create.
+	if _, err := NewExploit(sys, channel.Params{N: 2}, 2); err != nil {
+		t.Fatalf("second exploit failed: %v", err)
+	}
+}
+
+func TestResultZero(t *testing.T) {
+	var r Result
+	if r.InfoRatePerUse() != 0 {
+		t.Fatal("zero Result should report zero rate")
+	}
+}

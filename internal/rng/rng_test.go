@@ -1,0 +1,270 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("streams diverged at step %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 produced %d identical values out of 100", same)
+	}
+}
+
+func TestZeroSeedIsValid(t *testing.T) {
+	r := New(0)
+	var all uint64
+	for i := 0; i < 64; i++ {
+		all |= r.Uint64()
+	}
+	if all == 0 {
+		t.Fatal("zero seed produced an all-zero stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	err := quick.Check(func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	r := New(5)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := float64(trials) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("value %d count %d deviates from expected %.0f", v, c, want)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{p: 0, want: 0},
+		{p: 1, want: 1},
+		{p: -0.5, want: 0},
+		{p: 1.5, want: 1},
+		{p: 0.25, want: 0.25},
+		{p: 0.9, want: 0.9},
+	}
+	for _, tt := range tests {
+		r := New(99)
+		const trials = 100000
+		hits := 0
+		for i := 0; i < trials; i++ {
+			if r.Bool(tt.p) {
+				hits++
+			}
+		}
+		got := float64(hits) / trials
+		if math.Abs(got-tt.want) > 0.01 {
+			t.Errorf("Bool(%v) frequency = %v, want ~%v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestBitBalance(t *testing.T) {
+	r := New(13)
+	const trials = 100000
+	ones := 0
+	for i := 0; i < trials; i++ {
+		b := r.Bit()
+		if b > 1 {
+			t.Fatalf("Bit returned %d", b)
+		}
+		ones += int(b)
+	}
+	if math.Abs(float64(ones)/trials-0.5) > 0.01 {
+		t.Fatalf("Bit frequency of ones = %v, want ~0.5", float64(ones)/trials)
+	}
+}
+
+func TestSymbolRange(t *testing.T) {
+	r := New(17)
+	for n := 1; n <= 32; n++ {
+		for i := 0; i < 1000; i++ {
+			s := r.Symbol(n)
+			if n < 32 && s >= uint32(1)<<uint(n) {
+				t.Fatalf("Symbol(%d) = %d out of range", n, s)
+			}
+		}
+	}
+}
+
+func TestSymbolPanicsOutOfRange(t *testing.T) {
+	for _, n := range []int{0, 33, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Symbol(%d) did not panic", n)
+				}
+			}()
+			New(1).Symbol(n)
+		}()
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(23)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(31)
+	child := r.Split()
+	// The child stream must not be a shifted copy of the parent stream.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("parent and child streams share %d of 100 values", same)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := New(41)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("ExpFloat64 returned negative value %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-1) > 0.02 {
+		t.Fatalf("ExpFloat64 mean = %v, want ~1", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(43)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("NormFloat64 mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("NormFloat64 variance = %v, want ~1", variance)
+	}
+}
+
+func TestNormFloat64TailMass(t *testing.T) {
+	r := New(47)
+	const n = 100000
+	beyond2 := 0
+	for i := 0; i < n; i++ {
+		if math.Abs(r.NormFloat64()) > 2 {
+			beyond2++
+		}
+	}
+	// P(|Z| > 2) ~ 4.55%.
+	frac := float64(beyond2) / n
+	if frac < 0.035 || frac > 0.057 {
+		t.Fatalf("two-sigma tail mass = %v, want ~0.0455", frac)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Float64()
+	}
+	_ = sink
+}

@@ -1,0 +1,136 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Additional scheduling policies for the Section 3 evaluation: a
+// priority scheduler with aging and a multi-level feedback queue.
+// Both are classic "candidate system implementations" whose effect on
+// covert channel capacity the paper's method quantifies.
+
+// PriorityAging schedules the highest-priority ready process, where a
+// process's effective priority is its base priority plus an aging
+// credit that grows while it waits (preventing starvation). Ties break
+// by process id.
+type PriorityAging struct {
+	base  []int
+	wait  []int
+	aging int
+}
+
+// NewPriorityAging returns the policy. base[i] is process i's base
+// priority (higher runs first; missing entries default to 0); aging is
+// the priority gained per quantum spent waiting (>= 0).
+func NewPriorityAging(base []int, aging int) (*PriorityAging, error) {
+	if aging < 0 {
+		return nil, fmt.Errorf("sched: negative aging %d", aging)
+	}
+	return &PriorityAging{base: append([]int(nil), base...), aging: aging}, nil
+}
+
+// Name implements Scheduler.
+func (p *PriorityAging) Name() string { return "priority-aging" }
+
+// Pick implements Scheduler.
+func (p *PriorityAging) Pick(ready []int, _ *rng.Source) int {
+	maxID := ready[len(ready)-1]
+	for len(p.wait) <= maxID {
+		p.wait = append(p.wait, 0)
+	}
+	best := ready[0]
+	bestPrio := p.effective(best)
+	for _, id := range ready[1:] {
+		if prio := p.effective(id); prio > bestPrio {
+			best, bestPrio = id, prio
+		}
+	}
+	for _, id := range ready {
+		if id == best {
+			p.wait[id] = 0
+		} else {
+			p.wait[id]++
+		}
+	}
+	return best
+}
+
+// effective returns base priority plus the aging credit.
+func (p *PriorityAging) effective(id int) int {
+	prio := 0
+	if id < len(p.base) {
+		prio = p.base[id]
+	}
+	return prio + p.aging*p.wait[id]
+}
+
+// MLFQ is a multi-level feedback queue: a process that runs drops one
+// level (lower priority); a process that waits long enough is boosted
+// back to the top level. Within a level, round-robin by id.
+type MLFQ struct {
+	levels      int
+	boostEvery  int
+	level       []int
+	wait        []int
+	lastInLevel []int
+	ticks       int
+}
+
+// NewMLFQ returns an MLFQ with the given number of levels (>= 2) and
+// boost period in quanta (>= 1).
+func NewMLFQ(levels, boostEvery int) (*MLFQ, error) {
+	if levels < 2 {
+		return nil, fmt.Errorf("sched: MLFQ needs >= 2 levels, got %d", levels)
+	}
+	if boostEvery < 1 {
+		return nil, fmt.Errorf("sched: MLFQ boost period %d, want >= 1", boostEvery)
+	}
+	return &MLFQ{levels: levels, boostEvery: boostEvery, lastInLevel: make([]int, levels)}, nil
+}
+
+// Name implements Scheduler.
+func (m *MLFQ) Name() string { return "mlfq" }
+
+// Pick implements Scheduler.
+func (m *MLFQ) Pick(ready []int, _ *rng.Source) int {
+	maxID := ready[len(ready)-1]
+	for len(m.level) <= maxID {
+		m.level = append(m.level, 0)
+		m.wait = append(m.wait, 0)
+	}
+	m.ticks++
+	if m.ticks%m.boostEvery == 0 {
+		for i := range m.level {
+			m.level[i] = 0
+		}
+	}
+	// Highest level (smallest level index) wins; round-robin inside.
+	bestLevel := m.levels
+	for _, id := range ready {
+		if m.level[id] < bestLevel {
+			bestLevel = m.level[id]
+		}
+	}
+	var pool []int
+	for _, id := range ready {
+		if m.level[id] == bestLevel {
+			pool = append(pool, id)
+		}
+	}
+	pick := pool[0]
+	last := m.lastInLevel[bestLevel]
+	for _, id := range pool {
+		if id > last {
+			pick = id
+			break
+		}
+	}
+	m.lastInLevel[bestLevel] = pick
+	// The process that ran sinks one level.
+	if m.level[pick] < m.levels-1 {
+		m.level[pick]++
+	}
+	return pick
+}

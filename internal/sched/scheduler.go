@@ -1,0 +1,155 @@
+// Package sched implements the paper's Section 3.1 operating-system
+// substrate: a discrete-event uniprocessor simulator in which a covert
+// sender and receiver communicate through a shared variable while a
+// scheduler — the "candidate system implementation" the paper's method
+// evaluates — decides who runs each quantum.
+//
+// Because only one process runs at a time, the sender may be scheduled
+// twice before the receiver reads (the written symbol is overwritten: a
+// deletion) or the receiver twice before the sender writes again (a
+// stale value is re-read: an insertion). The package extracts the
+// empirical deletion and insertion probabilities a scheduling policy
+// induces and feeds them to the capacity estimates in package core, and
+// it runs the full Appendix A counter protocol inside the simulated
+// system end to end.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Scheduler picks the next process to run from the ready set.
+// Implementations may keep state across calls (for example round-robin
+// position); a fresh scheduler must be used per simulation run.
+type Scheduler interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Pick returns one element of ready (which is non-empty and sorted
+	// ascending). src supplies any randomness the policy needs.
+	Pick(ready []int, src *rng.Source) int
+}
+
+// RoundRobin cycles through processes in id order, skipping blocked
+// ones. The zero value starts before process 0.
+type RoundRobin struct {
+	last int
+	init bool
+}
+
+// NewRoundRobin returns a fresh round-robin scheduler.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Scheduler.
+func (r *RoundRobin) Name() string { return "round-robin" }
+
+// Pick implements Scheduler: the ready process with the smallest id
+// strictly greater than the previously run id, wrapping around.
+func (r *RoundRobin) Pick(ready []int, _ *rng.Source) int {
+	if !r.init {
+		r.init = true
+		r.last = ready[0]
+		return ready[0]
+	}
+	for _, id := range ready {
+		if id > r.last {
+			r.last = id
+			return id
+		}
+	}
+	r.last = ready[0]
+	return ready[0]
+}
+
+// Random picks uniformly among ready processes, the memoryless policy
+// that induces the textbook deletion–insertion behaviour.
+type Random struct{}
+
+// NewRandom returns the uniform random scheduler.
+func NewRandom() *Random { return &Random{} }
+
+// Name implements Scheduler.
+func (Random) Name() string { return "random" }
+
+// Pick implements Scheduler.
+func (Random) Pick(ready []int, src *rng.Source) int {
+	return ready[src.Intn(len(ready))]
+}
+
+// Lottery holds tickets per process id and picks with probability
+// proportional to tickets (Waldspurger-style lottery scheduling).
+type Lottery struct {
+	tickets []int
+}
+
+// NewLottery returns a lottery scheduler with the given tickets per
+// process id. It returns an error if any ticket count is non-positive.
+func NewLottery(tickets []int) (*Lottery, error) {
+	if len(tickets) == 0 {
+		return nil, fmt.Errorf("sched: lottery needs tickets")
+	}
+	for i, n := range tickets {
+		if n <= 0 {
+			return nil, fmt.Errorf("sched: process %d has %d tickets, want positive", i, n)
+		}
+	}
+	return &Lottery{tickets: append([]int(nil), tickets...)}, nil
+}
+
+// Name implements Scheduler.
+func (l *Lottery) Name() string { return "lottery" }
+
+// Pick implements Scheduler.
+func (l *Lottery) Pick(ready []int, src *rng.Source) int {
+	total := 0
+	for _, id := range ready {
+		total += l.ticketsFor(id)
+	}
+	draw := src.Intn(total)
+	for _, id := range ready {
+		draw -= l.ticketsFor(id)
+		if draw < 0 {
+			return id
+		}
+	}
+	return ready[len(ready)-1]
+}
+
+func (l *Lottery) ticketsFor(id int) int {
+	if id < len(l.tickets) {
+		return l.tickets[id]
+	}
+	return 1
+}
+
+// Fuzzy wraps a base policy and, with probability pRandom, picks a
+// uniformly random ready process instead — modeling the noise-injecting
+// countermeasures high-assurance systems deploy against covert timing
+// channels (Section 3.1's "make the covert channels harder to exploit").
+type Fuzzy struct {
+	base    Scheduler
+	pRandom float64
+}
+
+// NewFuzzy wraps base with random perturbation probability pRandom.
+func NewFuzzy(base Scheduler, pRandom float64) (*Fuzzy, error) {
+	if base == nil {
+		return nil, fmt.Errorf("sched: nil base scheduler")
+	}
+	if pRandom < 0 || pRandom > 1 {
+		return nil, fmt.Errorf("sched: perturbation probability %v out of [0,1]", pRandom)
+	}
+	return &Fuzzy{base: base, pRandom: pRandom}, nil
+}
+
+// Name implements Scheduler.
+func (f *Fuzzy) Name() string { return fmt.Sprintf("fuzzy(%s)", f.base.Name()) }
+
+// Pick implements Scheduler.
+func (f *Fuzzy) Pick(ready []int, src *rng.Source) int {
+	if src.Bool(f.pRandom) {
+		return ready[src.Intn(len(ready))]
+	}
+	return f.base.Pick(ready, src)
+}

@@ -1,0 +1,190 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Config describes one uniprocessor simulation.
+type Config struct {
+	// Scheduler is the policy under evaluation. Required; use a fresh
+	// instance per run (policies may be stateful).
+	Scheduler Scheduler
+	// Bystanders is the number of unrelated CPU-bound processes sharing
+	// the machine with the covert pair.
+	Bystanders int
+	// PBlock is the probability a process blocks (for I/O) at the end
+	// of its quantum instead of staying ready.
+	PBlock float64
+	// MeanBlock is the mean block duration in quanta (geometric).
+	// Ignored when PBlock is 0; otherwise must be >= 1.
+	MeanBlock float64
+	// Quanta is the number of scheduling quanta to simulate.
+	Quanta int
+	// Seed drives all randomness in the run.
+	Seed uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Scheduler == nil {
+		return fmt.Errorf("sched: nil scheduler")
+	}
+	if c.Bystanders < 0 {
+		return fmt.Errorf("sched: negative bystander count %d", c.Bystanders)
+	}
+	if c.PBlock < 0 || c.PBlock > 1 {
+		return fmt.Errorf("sched: block probability %v out of [0,1]", c.PBlock)
+	}
+	if c.PBlock > 0 && c.MeanBlock < 1 {
+		return fmt.Errorf("sched: mean block %v quanta, want >= 1", c.MeanBlock)
+	}
+	if c.Quanta < 1 {
+		return fmt.Errorf("sched: quanta %d, want >= 1", c.Quanta)
+	}
+	return nil
+}
+
+// Process ids of the covert pair.
+const (
+	SenderID   = 0
+	ReceiverID = 1
+)
+
+// Report summarizes the channel a scheduling policy induces between the
+// covert pair.
+type Report struct {
+	// Policy is the scheduler's name.
+	Policy string
+	// Quanta is the number of quanta simulated.
+	Quanta int
+	// SenderRuns, ReceiverRuns, BystanderRuns count activations.
+	SenderRuns, ReceiverRuns, BystanderRuns int
+	// Transmissions, Deletions, Insertions are the Definition 1 events
+	// induced by the activation pattern: a sender activation that
+	// overwrites an unread symbol is a deletion; a receiver activation
+	// that re-reads a stale symbol is an insertion.
+	Transmissions, Deletions, Insertions int
+}
+
+// Uses returns the induced channel uses.
+func (r Report) Uses() int { return r.Transmissions + r.Deletions + r.Insertions }
+
+// Rates returns the empirical Pd and Pi of the induced channel.
+func (r Report) Rates() (pd, pi float64) {
+	uses := r.Uses()
+	if uses == 0 {
+		return 0, 0
+	}
+	return float64(r.Deletions) / float64(uses), float64(r.Insertions) / float64(uses)
+}
+
+// activationKind tags who ran a quantum.
+type activationKind int
+
+const (
+	actSender activationKind = iota + 1
+	actReceiver
+	actBystander
+)
+
+// system carries the mutable state of one simulation run.
+type system struct {
+	cfg     Config
+	src     *rng.Source
+	kernel  sim.Kernel
+	blocked []bool
+	// onRun, if non-nil, is invoked for every quantum with who ran.
+	onRun func(activationKind, int)
+}
+
+// newSystem builds the process set: sender, receiver, bystanders.
+func newSystem(cfg Config, onRun func(activationKind, int)) *system {
+	return &system{
+		cfg:     cfg,
+		src:     rng.New(cfg.Seed),
+		blocked: make([]bool, 2+cfg.Bystanders),
+		onRun:   onRun,
+	}
+}
+
+// run simulates cfg.Quanta scheduling quanta.
+func (s *system) run() error {
+	for q := 0; q < s.cfg.Quanta; q++ {
+		// Unblock processes whose I/O completed by this quantum.
+		s.kernel.RunUntil(float64(q))
+		ready := make([]int, 0, len(s.blocked))
+		for id, b := range s.blocked {
+			if !b {
+				ready = append(ready, id)
+			}
+		}
+		if len(ready) == 0 {
+			// Idle quantum: everyone is blocked.
+			continue
+		}
+		id := s.cfg.Scheduler.Pick(ready, s.src)
+		if s.onRun != nil {
+			switch id {
+			case SenderID:
+				s.onRun(actSender, q)
+			case ReceiverID:
+				s.onRun(actReceiver, q)
+			default:
+				s.onRun(actBystander, q)
+			}
+		}
+		// End of quantum: maybe block for I/O.
+		if s.cfg.PBlock > 0 && s.src.Bool(s.cfg.PBlock) {
+			s.blocked[id] = true
+			// Geometric duration with the configured mean, at least 1.
+			dur := 1.0
+			for s.src.Float64() > 1/s.cfg.MeanBlock {
+				dur++
+			}
+			id := id
+			if err := s.kernel.Schedule(dur, func() { s.blocked[id] = false }); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Run simulates the system with a naive covert pair (the sender writes
+// a fresh symbol every time it runs; the receiver reads every time it
+// runs) and reports the induced channel events — the measurement the
+// paper's method needs to estimate Pd for a given scheduler.
+func Run(cfg Config) (Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return Report{}, err
+	}
+	rep := Report{Policy: cfg.Scheduler.Name(), Quanta: cfg.Quanta}
+	pending := false // sender has written since the last read
+	sys := newSystem(cfg, func(kind activationKind, _ int) {
+		switch kind {
+		case actSender:
+			rep.SenderRuns++
+			if pending {
+				rep.Deletions++ // overwrote an unread symbol
+			}
+			pending = true
+		case actReceiver:
+			rep.ReceiverRuns++
+			if pending {
+				rep.Transmissions++
+				pending = false
+			} else {
+				rep.Insertions++ // re-read a stale symbol
+			}
+		default:
+			rep.BystanderRuns++
+		}
+	})
+	if err := sys.run(); err != nil {
+		return Report{}, err
+	}
+	return rep, nil
+}

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestScheduleValidation(t *testing.T) {
+	var k Kernel
+	if err := k.Schedule(-1, func() {}); err == nil {
+		t.Error("expected error for negative delay")
+	}
+	if err := k.Schedule(1, nil); err == nil {
+		t.Error("expected error for nil callback")
+	}
+}
+
+func TestRunOrdersEventsByTime(t *testing.T) {
+	var k Kernel
+	var order []int
+	for i, d := range []float64{3, 1, 2} {
+		i, d := i, d
+		if err := k.Schedule(d, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := k.Run(0); n != 3 {
+		t.Fatalf("Run executed %d events, want 3", n)
+	}
+	want := []int{1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if k.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", k.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	var k Kernel
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		if err := k.Schedule(1, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.Run(0)
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestSelfScheduling(t *testing.T) {
+	var k Kernel
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 10 {
+			if err := k.Schedule(1, tick); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	if err := k.Schedule(1, tick); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(0)
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+	if k.Now() != 10 {
+		t.Fatalf("Now = %v, want 10", k.Now())
+	}
+}
+
+func TestRunMaxEvents(t *testing.T) {
+	var k Kernel
+	var tick func()
+	tick = func() {
+		if err := k.Schedule(1, tick); err != nil {
+			t.Error(err)
+		}
+	}
+	if err := k.Schedule(1, tick); err != nil {
+		t.Fatal(err)
+	}
+	if n := k.Run(100); n != 100 {
+		t.Fatalf("Run executed %d events, want cap of 100", n)
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", k.Pending())
+	}
+}
+
+func TestStop(t *testing.T) {
+	var k Kernel
+	ran := 0
+	if err := k.Schedule(1, func() { ran++; k.Stop() }); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Schedule(2, func() { ran++ }); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(0)
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1 (stopped)", ran)
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", k.Pending())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var k Kernel
+	ran := 0
+	for _, d := range []float64{1, 2, 5} {
+		if err := k.Schedule(d, func() { ran++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := k.RunUntil(3); n != 2 {
+		t.Fatalf("RunUntil executed %d, want 2", n)
+	}
+	if k.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", k.Now())
+	}
+	if n := k.RunUntil(10); n != 1 {
+		t.Fatalf("second RunUntil executed %d, want 1", n)
+	}
+	if ran != 3 {
+		t.Fatalf("ran = %d, want 3", ran)
+	}
+}
+
+func TestRunUntilAdvancesClockWithoutEvents(t *testing.T) {
+	var k Kernel
+	k.RunUntil(7)
+	if k.Now() != 7 {
+		t.Fatalf("Now = %v, want 7", k.Now())
+	}
+}

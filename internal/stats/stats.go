@@ -1,0 +1,183 @@
+// Package stats provides the statistical utilities shared by the
+// simulations and experiment harnesses: streaming moments and confidence
+// intervals, histograms, empirical mutual information, and edit-distance
+// alignment used to count deletion/insertion/substitution events in
+// observed symbol traces.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Accumulator computes streaming mean and variance using Welford's
+// algorithm. The zero value is ready to use.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// N returns the number of observations.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean (0 for an empty accumulator).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// StdErr returns the standard error of the mean (0 for n == 0).
+func (a *Accumulator) StdErr() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval around the mean.
+func (a *Accumulator) CI95() float64 { return 1.96 * a.StdErr() }
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (0 for n < 2).
+func Variance(xs []float64) float64 {
+	var acc Accumulator
+	for _, x := range xs {
+		acc.Add(x)
+	}
+	return acc.Variance()
+}
+
+// Proportion summarizes a Bernoulli estimate k successes out of n trials
+// with a Wilson 95% confidence interval, which behaves sensibly at the
+// extremes (k = 0 or k = n) where the normal interval collapses.
+type Proportion struct {
+	K, N int
+}
+
+// Estimate returns the point estimate k/n (0 if n == 0).
+func (p Proportion) Estimate() float64 {
+	if p.N == 0 {
+		return 0
+	}
+	return float64(p.K) / float64(p.N)
+}
+
+// Wilson95 returns the Wilson score 95% confidence interval.
+func (p Proportion) Wilson95() (lo, hi float64) {
+	if p.N == 0 {
+		return 0, 1
+	}
+	const z = 1.96
+	n := float64(p.N)
+	phat := float64(p.K) / n
+	denom := 1 + z*z/n
+	center := (phat + z*z/(2*n)) / denom
+	half := z * math.Sqrt(phat*(1-phat)/n+z*z/(4*n*n)) / denom
+	lo = center - half
+	hi = center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// AutoCorrelation returns the lag-k sample autocorrelation of xs,
+// used to diagnose burstiness in channel event traces. It returns an
+// error for non-positive lags or series too short to estimate, and 0
+// for a constant series (zero variance).
+func AutoCorrelation(xs []float64, lag int) (float64, error) {
+	if lag < 1 {
+		return 0, fmt.Errorf("stats: lag %d, want >= 1", lag)
+	}
+	if len(xs) <= lag+1 {
+		return 0, fmt.Errorf("stats: series of %d too short for lag %d", len(xs), lag)
+	}
+	mean := Mean(xs)
+	var num, den float64
+	for i := range xs {
+		d := xs[i] - mean
+		den += d * d
+		if i+lag < len(xs) {
+			num += d * (xs[i+lag] - mean)
+		}
+	}
+	if den == 0 {
+		return 0, nil
+	}
+	return num / den, nil
+}
+
+// Histogram counts observations in equal-width bins over [min, max).
+// Observations outside the range are counted in the nearest edge bin.
+type Histogram struct {
+	min, max float64
+	counts   []int
+	total    int
+}
+
+// NewHistogram returns a histogram with the given bin count over
+// [min, max). It returns an error if bins < 1 or max <= min.
+func NewHistogram(min, max float64, bins int) (*Histogram, error) {
+	if bins < 1 {
+		return nil, fmt.Errorf("stats: histogram needs at least 1 bin, got %d", bins)
+	}
+	if max <= min {
+		return nil, fmt.Errorf("stats: histogram range [%v, %v) is empty", min, max)
+	}
+	return &Histogram{min: min, max: max, counts: make([]int, bins)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	idx := int(float64(len(h.counts)) * (x - h.min) / (h.max - h.min))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.counts) {
+		idx = len(h.counts) - 1
+	}
+	h.counts[idx]++
+	h.total++
+}
+
+// Counts returns a copy of the per-bin counts.
+func (h *Histogram) Counts() []int {
+	out := make([]int, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int { return h.total }

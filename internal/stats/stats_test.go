@@ -1,0 +1,193 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAccumulatorKnown(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d, want 8", a.N())
+	}
+	if !almostEqual(a.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %v, want 5", a.Mean())
+	}
+	// Unbiased sample variance of this classic data set is 32/7.
+	if !almostEqual(a.Variance(), 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %v, want %v", a.Variance(), 32.0/7.0)
+	}
+}
+
+func TestAccumulatorEmptyAndSingle(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Variance() != 0 || a.StdErr() != 0 {
+		t.Fatal("zero accumulator should report zeros")
+	}
+	a.Add(3.5)
+	if a.Mean() != 3.5 || a.Variance() != 0 {
+		t.Fatalf("single observation: mean %v var %v", a.Mean(), a.Variance())
+	}
+}
+
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	err := quick.Check(func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		var a Accumulator
+		for i, v := range raw {
+			xs[i] = float64(v)
+			a.Add(xs[i])
+		}
+		return almostEqual(a.Mean(), Mean(xs), 1e-9) &&
+			almostEqual(a.Variance(), Variance(xs), 1e-9)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCI95Shrinks(t *testing.T) {
+	var small, large Accumulator
+	for i := 0; i < 10; i++ {
+		small.Add(float64(i % 2))
+	}
+	for i := 0; i < 1000; i++ {
+		large.Add(float64(i % 2))
+	}
+	if large.CI95() >= small.CI95() {
+		t.Fatalf("CI should shrink with more data: %v vs %v", large.CI95(), small.CI95())
+	}
+}
+
+func TestProportion(t *testing.T) {
+	p := Proportion{K: 50, N: 100}
+	if p.Estimate() != 0.5 {
+		t.Fatalf("Estimate = %v", p.Estimate())
+	}
+	lo, hi := p.Wilson95()
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Fatalf("Wilson interval [%v, %v] should bracket 0.5", lo, hi)
+	}
+	if lo < 0.39 || hi > 0.61 {
+		t.Fatalf("Wilson interval [%v, %v] implausibly wide", lo, hi)
+	}
+}
+
+func TestProportionEdges(t *testing.T) {
+	lo, hi := Proportion{K: 0, N: 20}.Wilson95()
+	if lo != 0 || hi <= 0 || hi >= 0.3 {
+		t.Fatalf("Wilson for 0/20 = [%v, %v]", lo, hi)
+	}
+	lo, hi = Proportion{K: 20, N: 20}.Wilson95()
+	if hi != 1 || lo <= 0.7 {
+		t.Fatalf("Wilson for 20/20 = [%v, %v]", lo, hi)
+	}
+	lo, hi = Proportion{}.Wilson95()
+	if lo != 0 || hi != 1 {
+		t.Fatalf("Wilson for 0/0 = [%v, %v], want [0, 1]", lo, hi)
+	}
+}
+
+func TestAutoCorrelationValidation(t *testing.T) {
+	if _, err := AutoCorrelation([]float64{1, 2, 3}, 0); err == nil {
+		t.Error("expected lag error")
+	}
+	if _, err := AutoCorrelation([]float64{1, 2}, 1); err == nil {
+		t.Error("expected short series error")
+	}
+}
+
+func TestAutoCorrelationAlternating(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i % 2)
+	}
+	r1, err := AutoCorrelation(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 > -0.9 {
+		t.Fatalf("lag-1 ACF of alternating series = %v, want near -1", r1)
+	}
+	r2, err := AutoCorrelation(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 < 0.9 {
+		t.Fatalf("lag-2 ACF of alternating series = %v, want near +1", r2)
+	}
+}
+
+func TestAutoCorrelationConstantSeries(t *testing.T) {
+	xs := []float64{5, 5, 5, 5, 5}
+	r, err := AutoCorrelation(xs, 1)
+	if err != nil || r != 0 {
+		t.Fatalf("constant series ACF = %v, %v; want 0, nil", r, err)
+	}
+}
+
+func TestAutoCorrelationPersistentSeries(t *testing.T) {
+	// Long runs of equal values: strong positive lag-1 correlation.
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64((i / 20) % 2)
+	}
+	r, err := AutoCorrelation(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.8 {
+		t.Fatalf("run-structured series lag-1 ACF = %v, want > 0.8", r)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 1.9, 2, 5, 9.9, -3, 42} {
+		h.Add(x)
+	}
+	counts := h.Counts()
+	want := []int{3, 1, 1, 0, 2} // -3 clamps to bin 0, 42 to bin 4
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("Counts = %v, want %v", counts, want)
+		}
+	}
+	if h.Total() != 7 {
+		t.Fatalf("Total = %d, want 7", h.Total())
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("expected error for zero bins")
+	}
+	if _, err := NewHistogram(1, 1, 3); err == nil {
+		t.Error("expected error for empty range")
+	}
+}
+
+func TestHistogramCountsIsCopy(t *testing.T) {
+	h, err := NewHistogram(0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(0.1)
+	c := h.Counts()
+	c[0] = 99
+	if h.Counts()[0] != 1 {
+		t.Fatal("Counts exposed internal state")
+	}
+}

@@ -1,0 +1,75 @@
+package syncproto
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+)
+
+// ARQ is the Theorem 3 protocol: over a deletion channel with perfect
+// feedback, the receiver acknowledges every received symbol and the
+// sender resends until acknowledged, so no drop-outs ever reach the
+// application and the erasure-channel capacity N*(1-Pd) is achieved.
+type ARQ struct {
+	ch *channel.DeletionInsertion
+}
+
+// NewARQ returns the protocol bound to a deletion channel. The paper's
+// Theorem 3 setting requires Pi = 0 (pure deletions; the counter
+// protocol handles insertions) and a noiseless data channel is assumed
+// for the synchronization analysis, so Ps must also be 0.
+func NewARQ(ch *channel.DeletionInsertion) (*ARQ, error) {
+	if ch == nil {
+		return nil, fmt.Errorf("syncproto: nil channel")
+	}
+	p := ch.Params()
+	if p.Pi != 0 {
+		return nil, fmt.Errorf("syncproto: ARQ requires a deletion-only channel, got Pi = %v", p.Pi)
+	}
+	if p.Ps != 0 {
+		return nil, fmt.Errorf("syncproto: ARQ analysis assumes a noiseless data channel, got Ps = %v", p.Ps)
+	}
+	return &ARQ{ch: ch}, nil
+}
+
+// Run transmits the message and returns the run accounting. Every
+// message symbol is delivered exactly once, in order, without error;
+// the cost appears as extra channel uses for resends.
+func (a *ARQ) Run(msg []uint32) (Result, error) {
+	p := a.ch.Params()
+	if !validSymbols(msg, p.N) {
+		return Result{}, fmt.Errorf("syncproto: message contains symbols outside the %d-bit alphabet", p.N)
+	}
+	res := Result{MessageSymbols: len(msg)}
+	received := make([]uint32, 0, len(msg))
+	for _, sym := range msg {
+		for {
+			res.Uses++
+			res.SenderOps++
+			u := a.ch.Use(sym)
+			if u.Kind == channel.EventTransmit {
+				received = append(received, u.Delivered)
+				break
+			}
+			// EventDelete: feedback says not received; resend.
+		}
+	}
+	if err := measureSlots(&res, msg, received, p.N); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// validSymbols reports whether all symbols fit the n-bit alphabet.
+func validSymbols(msg []uint32, n int) bool {
+	if n >= 32 {
+		return true
+	}
+	limit := uint32(1) << uint(n)
+	for _, s := range msg {
+		if s >= limit {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,132 @@
+package syncproto
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// CommonEvent models the Figure 3(b) mechanism: a common event source E
+// (a shared clock or self-incrementing counter) paces both parties, but
+// there is no feedback path. On every tick the sender, if it gets to
+// run, writes the tick's message symbol into the shared variable; the
+// receiver, if it gets to run, samples the variable and attributes the
+// value to the tick.
+//
+// Each party independently misses a tick (is not scheduled in time)
+// with its miss probability. A sender miss leaves a stale value that
+// the receiver cannot detect (a substitution in the converted stream);
+// a receiver miss loses the slot outright. The paper's Figure 4
+// argument — a common event source achieves no more than feedback —
+// shows up here as the measured rate staying below the ARQ feedback
+// rate at the same deletion parameter (experiment E7).
+type CommonEvent struct {
+	n            int
+	missS, missR float64
+	src          *rng.Source
+}
+
+// NewCommonEvent returns the mechanism for n-bit symbols with the given
+// per-tick miss probabilities.
+func NewCommonEvent(n int, missS, missR float64, src *rng.Source) (*CommonEvent, error) {
+	if n < 1 || n > 16 {
+		return nil, fmt.Errorf("syncproto: symbol width %d out of [1,16]", n)
+	}
+	if missS < 0 || missS > 1 {
+		return nil, fmt.Errorf("syncproto: sender miss probability %v out of [0,1]", missS)
+	}
+	if missR < 0 || missR > 1 {
+		return nil, fmt.Errorf("syncproto: receiver miss probability %v out of [0,1]", missR)
+	}
+	if src == nil {
+		return nil, fmt.Errorf("syncproto: nil randomness source")
+	}
+	return &CommonEvent{n: n, missS: missS, missR: missR, src: src}, nil
+}
+
+// RunWithSenderPath models Figure 4(b): an additional path from the
+// sender to the event source lets E observe whether the sender acted
+// on each tick and relay that to the receiver, and symmetrically relay
+// the receiver's progress to the sender. The paper's argument is that
+// this configuration "indeed can be regarded as one single party and
+// ... actually becomes the synchronization method using feedback". The
+// simulation confirms the ordering: the enriched mechanism is
+// error-free (the receiver discards slots E marks stale; the sender
+// re-sends symbols E reports unread), strictly better than the plain
+// common-event mechanism, and still no better than pure feedback ARQ.
+func (c *CommonEvent) RunWithSenderPath(msg []uint32) (Result, error) {
+	if !validSymbols(msg, c.n) {
+		return Result{}, fmt.Errorf("syncproto: message contains symbols outside the %d-bit alphabet", c.n)
+	}
+	res := Result{MessageSymbols: len(msg)}
+	var (
+		shared   uint32
+		fresh    bool // E knows whether the shared value is unread
+		next     int
+		received = make([]uint32, 0, len(msg))
+		slotMsg  = make([]uint32, 0, len(msg))
+	)
+	for len(received) < len(msg) {
+		res.Uses++
+		if !c.src.Bool(c.missS) {
+			res.SenderOps++
+			// E tells the sender whether the last symbol was consumed.
+			if !fresh && next < len(msg) {
+				shared = msg[next]
+				next++
+				fresh = true
+			}
+		}
+		if !c.src.Bool(c.missR) && fresh {
+			// E marks the slot fresh, so the receiver never consumes a
+			// stale value.
+			slotMsg = append(slotMsg, msg[len(received)])
+			received = append(received, shared)
+			fresh = false
+		}
+	}
+	if err := measureSlots(&res, slotMsg, received, c.n); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// Run transmits the message, one tick per message symbol, and returns
+// the accounting. Uses counts ticks; SenderOps counts sender-attended
+// ticks. Delivered counts receiver-attended ticks; a slot is in error
+// when the sampled value is stale and differs from the tick's symbol.
+func (c *CommonEvent) Run(msg []uint32) (Result, error) {
+	if !validSymbols(msg, c.n) {
+		return Result{}, fmt.Errorf("syncproto: message contains symbols outside the %d-bit alphabet", c.n)
+	}
+	res := Result{MessageSymbols: len(msg)}
+	// The shared variable starts with channel noise rather than a
+	// message symbol.
+	shared := c.src.Symbol(c.n)
+
+	// Slot-aligned measurement: slotMsg/slotGot collect the
+	// receiver-attended (message symbol, sampled value) pairs. The
+	// message index is the tick number, mirroring the counter
+	// protocol's position discipline, so measureSlots applies with the
+	// attended subsequence.
+	slotMsg := make([]uint32, 0, len(msg))
+	slotGot := make([]uint32, 0, len(msg))
+	for t, sym := range msg {
+		res.Uses++
+		if !c.src.Bool(c.missS) {
+			res.SenderOps++
+			shared = sym
+		}
+		if !c.src.Bool(c.missR) {
+			slotMsg = append(slotMsg, msg[t])
+			slotGot = append(slotGot, shared)
+		}
+	}
+	if err := measureSlots(&res, slotMsg, slotGot, c.n); err != nil {
+		return Result{}, err
+	}
+	if res.SkippedSymbols = len(msg) - res.Delivered; res.SkippedSymbols < 0 {
+		res.SkippedSymbols = 0
+	}
+	return res, nil
+}

@@ -1,0 +1,95 @@
+package syncproto
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/channel"
+)
+
+func TestNewDelayedARQValidation(t *testing.T) {
+	if _, err := NewDelayedARQ(nil, 1); err == nil {
+		t.Error("expected nil channel error")
+	}
+	if _, err := NewDelayedARQ(mustChannel(t, channel.Params{N: 2, Pi: 0.1}, 1), 1); err == nil {
+		t.Error("expected insertion channel error")
+	}
+	if _, err := NewDelayedARQ(mustChannel(t, channel.Params{N: 2, Ps: 0.1}, 1), 1); err == nil {
+		t.Error("expected noisy channel error")
+	}
+	if _, err := NewDelayedARQ(mustChannel(t, channel.Params{N: 2}, 1), -1); err == nil {
+		t.Error("expected delay error")
+	}
+}
+
+func TestDelayedARQZeroDelayMatchesARQ(t *testing.T) {
+	p := channel.Params{N: 4, Pd: 0.25}
+	msg := randomMessage(2, 10000, 4)
+
+	d, err := NewDelayedARQ(mustChannel(t, p, 3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resD, err := d.Run(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4 * (1 - p.Pd)
+	if math.Abs(resD.InfoRatePerUse()-want) > 0.15 {
+		t.Fatalf("zero-delay rate %v, want ~%v", resD.InfoRatePerUse(), want)
+	}
+	if resD.SymbolErrors != 0 {
+		t.Fatal("delayed ARQ must be error-free")
+	}
+}
+
+func TestDelayedARQMatchesPrediction(t *testing.T) {
+	p := channel.Params{N: 4, Pd: 0.2}
+	msg := randomMessage(4, 10000, 4)
+	for _, delay := range []int{1, 3, 9} {
+		a, err := NewDelayedARQ(mustChannel(t, p, uint64(5+delay)), delay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := a.Run(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := a.PredictedRate()
+		got := res.InfoRatePerUse()
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("delay %d: rate %v, predicted %v", delay, got, want)
+		}
+	}
+}
+
+func TestDelayedARQRateDecreasesWithDelay(t *testing.T) {
+	p := channel.Params{N: 4, Pd: 0.1}
+	msg := randomMessage(6, 5000, 4)
+	prev := math.Inf(1)
+	for _, delay := range []int{0, 2, 5} {
+		a, err := NewDelayedARQ(mustChannel(t, p, 7), delay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := a.Run(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rate := res.InfoRatePerUse()
+		if rate >= prev {
+			t.Fatalf("rate did not decrease with delay %d: %v >= %v", delay, rate, prev)
+		}
+		prev = rate
+	}
+}
+
+func TestDelayedARQRejectsInvalidSymbols(t *testing.T) {
+	a, err := NewDelayedARQ(mustChannel(t, channel.Params{N: 2}, 9), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Run([]uint32{4}); err == nil {
+		t.Fatal("expected alphabet error")
+	}
+}

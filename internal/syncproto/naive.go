@@ -1,0 +1,60 @@
+package syncproto
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/stats"
+)
+
+// Naive is the strawman that motivates the whole paper: the sender
+// pushes symbols with no feedback, no common events and no coding; the
+// receiver assumes slot k of the received stream is message symbol k.
+// A single unrepaired deletion or insertion shifts every later slot,
+// so the per-slot mutual information collapses toward zero as the
+// message grows — quantifying why non-synchronous channels cannot be
+// treated as synchronous ones.
+type Naive struct {
+	ch *channel.DeletionInsertion
+}
+
+// NewNaive returns the protocol bound to a deletion–insertion channel.
+func NewNaive(ch *channel.DeletionInsertion) (*Naive, error) {
+	if ch == nil {
+		return nil, fmt.Errorf("syncproto: nil channel")
+	}
+	return &Naive{ch: ch}, nil
+}
+
+// Run transmits the message once, with the receiver reading slots
+// positionally. Result.Delivered counts the slots that have a
+// positional counterpart; alignment-based deletion/insertion counts go
+// to SkippedSymbols via the edit-distance trace for diagnostics.
+func (p *Naive) Run(msg []uint32) (Result, error) {
+	params := p.ch.Params()
+	if !validSymbols(msg, params.N) {
+		return Result{}, fmt.Errorf("syncproto: message contains symbols outside the %d-bit alphabet", params.N)
+	}
+	received, trace := p.ch.Transmit(msg)
+	res := Result{
+		MessageSymbols: len(msg),
+		Uses:           len(trace),
+	}
+	for _, e := range trace {
+		if e != channel.EventInsert {
+			res.SenderOps++
+		}
+	}
+	// Positional comparison over the overlapping prefix.
+	overlap := received
+	if len(overlap) > len(msg) {
+		overlap = overlap[:len(msg)]
+	}
+	if err := measureSlots(&res, msg, overlap, params.N); err != nil {
+		return Result{}, err
+	}
+	// Diagnostics: how much of the damage is pure misalignment.
+	counts := stats.Align(msg, received)
+	res.SkippedSymbols = counts.Deletions + counts.Insertions
+	return res, nil
+}

@@ -1,0 +1,79 @@
+package syncproto
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// SyncVar is the Figure 1 mechanism: two synchronization variables on
+// top of a shared data variable. The sender toggles the S→R variable
+// after writing a symbol; the receiver reads only when the toggles
+// disagree and answers by toggling the R→S variable; the sender writes
+// the next symbol only when the toggles agree again.
+//
+// The mechanism makes the covert channel perfectly synchronous — no
+// deletions, no insertions, no errors — but wastes the activations in
+// which the active party finds the channel not ready. That wasted time
+// is exactly the capacity degradation the paper's estimation method
+// accounts for and traditional synchronous estimates ignore.
+type SyncVar struct {
+	n       int
+	pSender float64
+	src     *rng.Source
+}
+
+// NewSyncVar returns the protocol for n-bit symbols where each
+// activation opportunity goes to the sender with probability pSender
+// (the scheduler model of Section 3.1). It returns an error for invalid
+// arguments; pSender must lie strictly inside (0, 1) so both parties
+// eventually run.
+func NewSyncVar(n int, pSender float64, src *rng.Source) (*SyncVar, error) {
+	if n < 1 || n > 16 {
+		return nil, fmt.Errorf("syncproto: symbol width %d out of [1,16]", n)
+	}
+	if pSender <= 0 || pSender >= 1 {
+		return nil, fmt.Errorf("syncproto: sender activation probability %v must be in (0,1)", pSender)
+	}
+	if src == nil {
+		return nil, fmt.Errorf("syncproto: nil randomness source")
+	}
+	return &SyncVar{n: n, pSender: pSender, src: src}, nil
+}
+
+// Run transmits the message and returns the accounting. Uses counts
+// activation opportunities (the time base of the covert channel);
+// SenderOps counts sender activations.
+func (s *SyncVar) Run(msg []uint32) (Result, error) {
+	if !validSymbols(msg, s.n) {
+		return Result{}, fmt.Errorf("syncproto: message contains symbols outside the %d-bit alphabet", s.n)
+	}
+	res := Result{MessageSymbols: len(msg)}
+	received := make([]uint32, 0, len(msg))
+	var (
+		data         uint32
+		flagS, flagR bool
+		next         int
+	)
+	for len(received) < len(msg) {
+		res.Uses++
+		if s.src.Bool(s.pSender) {
+			res.SenderOps++
+			// Sender runs: ready to write only when the receiver has
+			// consumed the previous symbol.
+			if flagS == flagR && next < len(msg) {
+				data = msg[next]
+				next++
+				flagS = !flagS
+			}
+		} else if flagS != flagR {
+			// Receiver runs and a fresh symbol is pending.
+			received = append(received, data)
+			flagR = !flagR
+		}
+	}
+	if err := measureSlots(&res, msg, received, s.n); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}

@@ -1,0 +1,234 @@
+// Package timing implements a covert timing channel substrate for the
+// paper's Section 3.1 discussion of time references: the sender encodes
+// bits in the duration of observable operations (fast = 0, slow = 1),
+// and the receiver classifies the gaps it measures with its own local
+// clock. The receiver's clock is imperfect in exactly the ways
+// high-assurance systems engineer on purpose:
+//
+//   - jitter blurs gap measurements (misclassification: substitutions);
+//   - coarse granularity ("fuzzy time") quantizes them, amplifying
+//     misclassification;
+//   - the receiver may miss events entirely when it is not scheduled
+//     (deletions) or attribute unrelated system activity to the sender
+//     (insertions).
+//
+// The result is precisely a Definition 1 deletion–insertion channel;
+// EstimateParams measures its parameters with a calibration sequence so
+// the capacity machinery in package core applies, and
+// SynchronousCapacity computes the Moskowitz-style timing capacity per
+// unit time (ignoring non-synchrony) for comparison.
+package timing
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/infotheory"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Config describes the timing channel and the receiver's clock.
+type Config struct {
+	// D0, D1 are the operation durations encoding 0 and 1 (time units;
+	// 0 < D0 < D1).
+	D0, D1 float64
+	// Jitter is the standard deviation of Gaussian measurement noise
+	// added to each observed gap (>= 0).
+	Jitter float64
+	// Granularity quantizes observed gaps to multiples of this value
+	// (0 disables quantization) — the fuzzy-time countermeasure.
+	Granularity float64
+	// PMiss is the probability the receiver misses an event (the gap
+	// merges with the next one): a deletion.
+	PMiss float64
+	// PSpurious is the probability a spurious event interrupts a gap:
+	// an insertion. The spurious gap is uniform over (0, D1].
+	PSpurious float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.D0 <= 0 || c.D1 <= c.D0 {
+		return fmt.Errorf("timing: need 0 < D0 < D1, got (%v, %v)", c.D0, c.D1)
+	}
+	if c.Jitter < 0 {
+		return fmt.Errorf("timing: negative jitter %v", c.Jitter)
+	}
+	if c.Granularity < 0 {
+		return fmt.Errorf("timing: negative granularity %v", c.Granularity)
+	}
+	if c.PMiss < 0 || c.PMiss > 0.9 {
+		return fmt.Errorf("timing: PMiss %v out of [0, 0.9]", c.PMiss)
+	}
+	if c.PSpurious < 0 || c.PSpurious > 0.9 {
+		return fmt.Errorf("timing: PSpurious %v out of [0, 0.9]", c.PSpurious)
+	}
+	return nil
+}
+
+// Channel is a configured covert timing channel.
+type Channel struct {
+	cfg Config
+	src *rng.Source
+}
+
+// New returns the channel.
+func New(cfg Config) (*Channel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Channel{cfg: cfg, src: rng.New(cfg.Seed)}, nil
+}
+
+// Config returns the configuration.
+func (c *Channel) Config() Config { return c.cfg }
+
+// threshold returns the gap classification boundary.
+func (c *Channel) threshold() float64 { return (c.cfg.D0 + c.cfg.D1) / 2 }
+
+// Transmit sends the bit sequence through the timing channel and
+// returns the receiver's classified bit stream (which may be shorter
+// or longer than the input because of misses and spurious events).
+func (c *Channel) Transmit(bits []byte) ([]byte, error) {
+	for i, b := range bits {
+		if b > 1 {
+			return nil, fmt.Errorf("timing: input bit %d is %d, want 0 or 1", i, b)
+		}
+	}
+	out := make([]byte, 0, len(bits))
+	carry := 0.0 // duration carried into the next gap after a miss
+	for _, b := range bits {
+		// Spurious event splits the receiver's observation window.
+		if c.src.Bool(c.cfg.PSpurious) {
+			gap := c.src.Float64() * c.cfg.D1
+			out = append(out, c.classify(gap))
+		}
+		d := c.cfg.D0
+		if b == 1 {
+			d = c.cfg.D1
+		}
+		if c.src.Bool(c.cfg.PMiss) {
+			// Event missed: the duration merges into the next gap.
+			carry += d
+			continue
+		}
+		out = append(out, c.classify(d+carry))
+		carry = 0
+	}
+	return out, nil
+}
+
+// classify measures and thresholds one gap.
+func (c *Channel) classify(gap float64) byte {
+	observed := gap + c.cfg.Jitter*c.src.NormFloat64()
+	if g := c.cfg.Granularity; g > 0 {
+		// Round to the clock's tick grid.
+		ticks := int(observed/g + 0.5)
+		if ticks < 0 {
+			ticks = 0
+		}
+		observed = float64(ticks) * g
+	}
+	if observed >= c.threshold() {
+		return 1
+	}
+	return 0
+}
+
+// EstimateParams transmits a calibration sequence of the given length
+// and aligns it against the received stream to estimate the induced
+// Definition 1 parameters (N = 1). This is the paper's Section 4.4
+// procedure applied to a timing channel.
+func (c *Channel) EstimateParams(calibrationBits int) (channel.Params, error) {
+	if calibrationBits < 100 {
+		return channel.Params{}, fmt.Errorf("timing: calibration needs >= 100 bits, got %d", calibrationBits)
+	}
+	bits := make([]byte, calibrationBits)
+	for i := range bits {
+		bits[i] = c.src.Bit()
+	}
+	recv, err := c.Transmit(bits)
+	if err != nil {
+		return channel.Params{}, err
+	}
+	sent32 := make([]uint32, len(bits))
+	for i, b := range bits {
+		sent32[i] = uint32(b)
+	}
+	recv32 := make([]uint32, len(recv))
+	for i, b := range recv {
+		recv32[i] = uint32(b)
+	}
+	pd, pi, ps := stats.Align(sent32, recv32).Rates()
+	return channel.Params{N: 1, Pd: pd, Pi: pi, Ps: ps}, nil
+}
+
+// SynchronousCapacity returns the traditional timing-channel capacity
+// in bits per unit time, ignoring non-synchrony: the per-unit-cost
+// capacity of the binary substitution channel induced by jitter and
+// granularity, with symbol costs D0 and D1 (Moskowitz's timed-channel
+// style estimate). The substitution probabilities are measured from a
+// calibration run without misses or spurious events.
+func (c *Channel) SynchronousCapacity(calibrationBits int) (float64, error) {
+	if calibrationBits < 100 {
+		return 0, fmt.Errorf("timing: calibration needs >= 100 bits, got %d", calibrationBits)
+	}
+	clean := c.cfg
+	clean.PMiss = 0
+	clean.PSpurious = 0
+	clean.Seed = c.cfg.Seed + 1
+	probe, err := New(clean)
+	if err != nil {
+		return 0, err
+	}
+	// Measure the 2x2 confusion matrix.
+	var counts [2][2]int
+	for i := 0; i < calibrationBits; i++ {
+		b := probe.src.Bit()
+		recv, err := probe.Transmit([]byte{b})
+		if err != nil {
+			return 0, err
+		}
+		counts[b][recv[0]]++
+	}
+	w := make([][]float64, 2)
+	for x := 0; x < 2; x++ {
+		total := counts[x][0] + counts[x][1]
+		if total == 0 {
+			return 0, fmt.Errorf("timing: calibration starved input %d", x)
+		}
+		w[x] = []float64{
+			float64(counts[x][0]) / float64(total),
+			float64(counts[x][1]) / float64(total),
+		}
+	}
+	dmc, err := infotheory.NewDMC(w)
+	if err != nil {
+		return 0, err
+	}
+	perCost, _, err := dmc.CapacityPerCost([]float64{c.cfg.D0, c.cfg.D1}, 1e-9, 0)
+	if err != nil {
+		return 0, err
+	}
+	return perCost, nil
+}
+
+// CorrectedCapacity applies the paper's full procedure: estimate the
+// non-synchronous parameters, then degrade the synchronous estimate by
+// (1 - Pd). It returns the synchronous estimate, the estimated
+// parameters, and the corrected capacity.
+func (c *Channel) CorrectedCapacity(calibrationBits int) (sync float64, p channel.Params, corrected float64, err error) {
+	sync, err = c.SynchronousCapacity(calibrationBits)
+	if err != nil {
+		return 0, channel.Params{}, 0, err
+	}
+	p, err = c.EstimateParams(calibrationBits)
+	if err != nil {
+		return 0, channel.Params{}, 0, err
+	}
+	corrected = sync * (1 - p.Pd)
+	return sync, p, corrected, nil
+}

@@ -1,0 +1,279 @@
+package timing
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func validConfig() Config {
+	return Config{D0: 1, D1: 3, Seed: 1}
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero d0", func(c *Config) { c.D0 = 0 }},
+		{"d1 below d0", func(c *Config) { c.D1 = 0.5 }},
+		{"negative jitter", func(c *Config) { c.Jitter = -1 }},
+		{"negative granularity", func(c *Config) { c.Granularity = -1 }},
+		{"pmiss", func(c *Config) { c.PMiss = 0.95 }},
+		{"pspurious", func(c *Config) { c.PSpurious = -0.1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := validConfig()
+			tt.mutate(&cfg)
+			if _, err := New(cfg); err == nil {
+				t.Fatal("expected validation error")
+			}
+		})
+	}
+}
+
+func randomBits(seed uint64, n int) []byte {
+	src := rng.New(seed)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = src.Bit()
+	}
+	return out
+}
+
+func TestCleanChannelIsPerfect(t *testing.T) {
+	ch, err := New(validConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := randomBits(2, 2000)
+	recv, err := ch.Transmit(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(recv, bits) {
+		t.Fatal("noiseless timing channel corrupted the stream")
+	}
+}
+
+func TestTransmitRejectsNonBinary(t *testing.T) {
+	ch, err := New(validConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Transmit([]byte{0, 2}); err == nil {
+		t.Fatal("expected bit validation error")
+	}
+}
+
+func TestJitterCausesSubstitutions(t *testing.T) {
+	cfg := validConfig()
+	cfg.Jitter = 1.0 // threshold margin is 1.0, so errors are common
+	ch, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := randomBits(3, 5000)
+	recv, err := ch.Transmit(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recv) != len(bits) {
+		t.Fatalf("length changed without misses: %d vs %d", len(recv), len(bits))
+	}
+	diff := 0
+	for i := range bits {
+		if recv[i] != bits[i] {
+			diff++
+		}
+	}
+	// One-sigma margin: error rate ~ Phi(-1) ~ 16%.
+	rate := float64(diff) / float64(len(bits))
+	if rate < 0.08 || rate > 0.25 {
+		t.Fatalf("substitution rate %v, want ~0.16", rate)
+	}
+}
+
+func TestGranularityCoarseningHurts(t *testing.T) {
+	// The fuzzy-time countermeasure: with granularity comparable to
+	// the duration difference, classifications degrade relative to a
+	// fine clock at the same jitter.
+	// Granularity must be coarse enough to alias D0 and D1 onto the
+	// same tick (here 8 > 2*D1); a grid that still separates the two
+	// durations leaves classification intact.
+	fine := validConfig()
+	fine.Jitter = 0.5
+	coarse := fine
+	coarse.Granularity = 8
+	bits := randomBits(4, 6000)
+
+	errRate := func(cfg Config) float64 {
+		ch, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recv, err := ch.Transmit(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff := 0
+		for i := range bits {
+			if recv[i] != bits[i] {
+				diff++
+			}
+		}
+		return float64(diff) / float64(len(bits))
+	}
+	if ef, ec := errRate(fine), errRate(coarse); ec <= ef {
+		t.Fatalf("coarse clock error %v should exceed fine clock error %v", ec, ef)
+	}
+}
+
+func TestMissesShortenStream(t *testing.T) {
+	cfg := validConfig()
+	cfg.PMiss = 0.2
+	ch, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := randomBits(5, 10000)
+	recv, err := ch.Transmit(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(len(recv)) / float64(len(bits))
+	if math.Abs(ratio-0.8) > 0.02 {
+		t.Fatalf("received/sent ratio %v, want ~0.8", ratio)
+	}
+}
+
+func TestSpuriousEventsLengthenStream(t *testing.T) {
+	cfg := validConfig()
+	cfg.PSpurious = 0.15
+	ch, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := randomBits(6, 10000)
+	recv, err := ch.Transmit(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(len(recv)) / float64(len(bits))
+	if math.Abs(ratio-1.15) > 0.02 {
+		t.Fatalf("received/sent ratio %v, want ~1.15", ratio)
+	}
+}
+
+func TestEstimateParamsRecoversRates(t *testing.T) {
+	cfg := validConfig()
+	cfg.PMiss = 0.1
+	cfg.PSpurious = 0.05
+	ch, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ch.EstimateParams(8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alignment over a binary alphabet is biased low: inserted bits
+	// often coincide with neighbours and deletion+insertion pairs merge
+	// into substitutions. The estimates must still be clearly non-zero
+	// and ordered like the true rates (PMiss = 0.1 > PSpurious = 0.05).
+	if p.Pd < 0.04 || p.Pd > 0.15 {
+		t.Errorf("estimated Pd = %v, want near 0.1", p.Pd)
+	}
+	if p.Pi < 0.01 || p.Pi > 0.1 {
+		t.Errorf("estimated Pi = %v, want below-but-near 0.05", p.Pi)
+	}
+	if p.Pd <= p.Pi {
+		t.Errorf("estimated Pd %v should exceed estimated Pi %v", p.Pd, p.Pi)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("estimated params invalid: %v", err)
+	}
+}
+
+func TestEstimateParamsValidation(t *testing.T) {
+	ch, err := New(validConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.EstimateParams(10); err == nil {
+		t.Fatal("expected calibration length error")
+	}
+}
+
+func TestSynchronousCapacityCleanChannel(t *testing.T) {
+	// No jitter: the synchronous estimate is the noiseless timing
+	// capacity with durations {1, 3}.
+	ch, err := New(validConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ch.SynchronousCapacity(3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Root of x^-1 + x^-3 = 1 -> C = log2(x0) ~ 0.5515.
+	if math.Abs(got-0.5515) > 0.01 {
+		t.Fatalf("synchronous capacity %v, want ~0.5515", got)
+	}
+}
+
+func TestSynchronousCapacityDropsWithJitter(t *testing.T) {
+	clean, err := New(validConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisyCfg := validConfig()
+	noisyCfg.Jitter = 1
+	noisy, err := New(noisyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cClean, err := clean.SynchronousCapacity(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cNoisy, err := noisy.SynchronousCapacity(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cNoisy >= cClean {
+		t.Fatalf("jitter should reduce capacity: %v vs %v", cNoisy, cClean)
+	}
+}
+
+func TestCorrectedCapacityBelowSynchronous(t *testing.T) {
+	cfg := validConfig()
+	cfg.PMiss = 0.2
+	ch, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync, p, corrected, err := ch.CorrectedCapacity(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrected >= sync {
+		t.Fatalf("corrected %v should be below synchronous %v", corrected, sync)
+	}
+	if math.Abs(corrected-sync*(1-p.Pd)) > 1e-12 {
+		t.Fatalf("corrected %v != sync*(1-Pd) = %v", corrected, sync*(1-p.Pd))
+	}
+}
+
+func TestSynchronousCapacityValidation(t *testing.T) {
+	ch, err := New(validConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.SynchronousCapacity(5); err == nil {
+		t.Fatal("expected calibration length error")
+	}
+}
