@@ -1,0 +1,37 @@
+# Quality gates for the reproduction. `make ci` is the full pipeline the
+# repo must pass before merging; individual targets run one gate.
+
+GO ?= go
+
+.PHONY: ci fmt vet build test race bench-smoke bench
+
+ci: fmt vet build test race bench-smoke
+
+# gofmt -l prints offending files; fail if it prints anything.
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The runner fans experiments out across goroutines; the race detector
+# guards the result-slot and seed-stream plumbing.
+race:
+	$(GO) test -race ./...
+
+# One iteration of the serial/parallel batch benchmarks, as a smoke
+# test that the benchmark harness itself still runs.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkAll(Serial|Parallel)$$' -benchtime 1x .
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .

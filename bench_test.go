@@ -7,6 +7,8 @@
 package repro
 
 import (
+	"context"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -192,6 +194,35 @@ func BenchmarkE12TimingChannel(b *testing.B) {
 	b.ReportMetric(metric(b, last, 0, "C_sync(b/time)"), "clean-sync-C")
 	b.ReportMetric(metric(b, last, len(last.Rows)-1, "C_corrected"), "miss0.3-corrected")
 }
+
+// benchAll runs the full E1–E12 batch through the runner with the given
+// worker count and reports aggregate channel-uses throughput. Comparing
+// BenchmarkAllSerial against BenchmarkAllParallel shows the wall-clock
+// gain from concurrent experiments on multi-core machines; the emitted
+// tables are identical either way.
+func benchAll(b *testing.B, jobs int) {
+	b.Helper()
+	cfg := benchConfig()
+	var uses int64
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.Run(context.Background(), cfg,
+			experiments.Registry(), experiments.RunOptions{Jobs: jobs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		uses = 0
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatalf("%s: %v", r.Experiment.ID, r.Err)
+			}
+			uses += r.Uses
+		}
+	}
+	b.ReportMetric(float64(uses)/b.Elapsed().Seconds()*float64(b.N), "uses/sec")
+}
+
+func BenchmarkAllSerial(b *testing.B)   { benchAll(b, 1) }
+func BenchmarkAllParallel(b *testing.B) { benchAll(b, runtime.GOMAXPROCS(0)) }
 
 func BenchmarkAblationA1DriftWindow(b *testing.B) {
 	cfg := benchConfig()

@@ -2,12 +2,21 @@
 // experiment per paper artifact (Theorems 1–5, equations 6–7, Figure 4,
 // Figure 5, Sections 3.1, 4.1 and 4.4, and the related-work baselines).
 //
+// Experiments run on a deterministic parallel runner: each experiment
+// draws its randomness from an independent seed stream derived from
+// -seed, so the tables on stdout are byte-identical for every -jobs
+// value. The per-experiment timing summary goes to stderr, where it
+// cannot perturb reproducible output.
+//
 // Usage:
 //
-//	experiments [-only E3] [-seed 1] [-symbols 20000] [-coded 200] [-quanta 200000]
+//	experiments [-only E3,E8] [-jobs 8] [-timeout 30s] [-seed 1]
+//	            [-symbols 20000] [-coded 200] [-quanta 200000]
+//	            [-ablations] [-summary=false]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,12 +35,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		only      = fs.String("only", "", "run a single experiment (E1..E11, A1..A3)")
-		seed      = fs.Uint64("seed", 1, "random seed")
+		only      = fs.String("only", "", "comma-separated experiment subset (E1..E12, A1..A5)")
+		seed      = fs.Uint64("seed", 1, "master random seed (per-experiment seeds are derived streams)")
 		symbols   = fs.Int("symbols", 20000, "message length for protocol simulations")
 		coded     = fs.Int("coded", 200, "message length for coding experiments")
 		quanta    = fs.Int("quanta", 200000, "scheduler simulation quanta")
-		ablations = fs.Bool("ablations", false, "also run the ablation studies A1..A3")
+		ablations = fs.Bool("ablations", false, "also run the ablation studies A1..A5")
+		jobs      = fs.Int("jobs", 0, "max concurrent experiments (0 = GOMAXPROCS); does not affect output")
+		timeout   = fs.Duration("timeout", 0, "per-experiment wall-time limit (0 = none)")
+		summary   = fs.Bool("summary", true, "print the runner timing summary to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -42,30 +54,43 @@ func run(args []string) error {
 		Quanta:       *quanta,
 		Seed:         *seed,
 	}
-	tables, err := experiments.All(cfg)
+	var ids []string
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.ToUpper(strings.TrimSpace(id)); id != "" {
+			ids = append(ids, id)
+		}
+	}
+	exps := experiments.Registry()
+	wantAblations := *ablations
+	for _, id := range ids {
+		if strings.HasPrefix(id, "A") {
+			wantAblations = true
+		}
+	}
+	if wantAblations {
+		exps = append(exps, experiments.AblationRegistry()...)
+	}
+	results, err := experiments.Run(context.Background(), cfg, exps, experiments.RunOptions{
+		Jobs:    *jobs,
+		Timeout: *timeout,
+		Only:    ids,
+	})
 	if err != nil {
 		return err
 	}
-	wantAblations := *ablations || strings.HasPrefix(*only, "A")
-	if wantAblations {
-		abl, err := experiments.Ablations(cfg)
-		if err != nil {
-			return err
-		}
-		tables = append(tables, abl...)
+	tables, err := experiments.Tables(results)
+	if err != nil {
+		return err
 	}
-	printed := 0
 	for _, t := range tables {
-		if *only != "" && t.ID != *only {
-			continue
-		}
 		if err := t.Format(os.Stdout); err != nil {
 			return err
 		}
-		printed++
 	}
-	if printed == 0 {
-		return fmt.Errorf("no experiment matches %q (valid: E1..E11, A1..A3)", *only)
+	if *summary {
+		if err := experiments.Summary(results).Format(os.Stderr); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -6,17 +6,17 @@ import (
 	"testing"
 )
 
-// capture runs fn with os.Stdout redirected and returns what it wrote.
-// The pipe is drained concurrently so large tables cannot block the
-// writer.
-func capture(t *testing.T, fn func() error) (string, error) {
+// captureFD runs fn with *fd (os.Stdout or os.Stderr) redirected and
+// returns what it wrote. The pipe is drained concurrently so large
+// tables cannot block the writer.
+func captureFD(t *testing.T, fd **os.File, fn func() error) (string, error) {
 	t.Helper()
-	old := os.Stdout
+	old := *fd
 	r, w, err := os.Pipe()
 	if err != nil {
 		t.Fatal(err)
 	}
-	os.Stdout = w
+	*fd = w
 	done := make(chan string, 1)
 	go func() {
 		var sb strings.Builder
@@ -34,8 +34,14 @@ func capture(t *testing.T, fn func() error) (string, error) {
 	if cerr := w.Close(); cerr != nil {
 		t.Fatal(cerr)
 	}
-	os.Stdout = old
+	*fd = old
 	return <-done, runErr
+}
+
+// capture redirects os.Stdout, which is where the tables go.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	return captureFD(t, &os.Stdout, fn)
 }
 
 // fastArgs shrinks the workloads for test speed.
@@ -79,6 +85,55 @@ func TestRunAblationOnly(t *testing.T) {
 	}
 	if !strings.Contains(out, "A3 — Ablation") {
 		t.Fatalf("missing A3 table:\n%s", out)
+	}
+}
+
+// TestRunJobsDeterministic is the acceptance check: stdout must be
+// byte-identical between -jobs 1 and -jobs 8 because every experiment
+// derives its randomness from its own seed stream, and the (timing)
+// summary is kept off stdout.
+func TestRunJobsDeterministic(t *testing.T) {
+	serial, err := capture(t, func() error { return run(fastArgs("-jobs", "1")) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := capture(t, func() error { return run(fastArgs("-jobs", "8")) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != parallel {
+		t.Fatalf("-jobs 8 output differs from -jobs 1:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s",
+			serial, parallel)
+	}
+}
+
+// TestRunSummaryOnStderr pins the stream split: timing summary on
+// stderr only, and suppressible with -summary=false.
+func TestRunSummaryOnStderr(t *testing.T) {
+	var stdout string
+	stderr, err := captureFD(t, &os.Stderr, func() error {
+		var inner error
+		stdout, inner = capture(t, func() error { return run(fastArgs("-only", "E4")) })
+		return inner
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr, "uses/sec") {
+		t.Errorf("summary table missing from stderr:\n%s", stderr)
+	}
+	if strings.Contains(stdout, "uses/sec") {
+		t.Error("summary table leaked onto stdout")
+	}
+	stderr, err = captureFD(t, &os.Stderr, func() error {
+		_, inner := capture(t, func() error { return run(fastArgs("-only", "E4", "-summary=false")) })
+		return inner
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(stderr, "uses/sec") {
+		t.Error("-summary=false still printed the summary")
 	}
 }
 

@@ -112,7 +112,7 @@ func NewTimedZ(t0, t1, p float64) (*TimedZ, error) {
 	if t0 <= 0 || t1 <= 0 || math.IsNaN(t0) || math.IsNaN(t1) {
 		return nil, fmt.Errorf("baseline: durations (%v, %v) must be positive", t0, t1)
 	}
-	if p < 0 || p > 1 {
+	if math.IsNaN(p) || p < 0 || p > 1 {
 		return nil, fmt.Errorf("baseline: flip probability %v out of [0,1]", p)
 	}
 	return &TimedZ{t0: t0, t1: t1, p: p}, nil

@@ -17,6 +17,7 @@ package channel
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/rng"
 )
@@ -70,7 +71,7 @@ func (p Params) Validate() error {
 		name string
 		val  float64
 	}{{"Pd", p.Pd}, {"Pi", p.Pi}, {"Ps", p.Ps}} {
-		if v.val < 0 || v.val > 1 {
+		if math.IsNaN(v.val) || v.val < 0 || v.val > 1 {
 			return fmt.Errorf("channel: %s = %v out of [0,1]", v.name, v.val)
 		}
 	}

@@ -2,6 +2,7 @@ package channel
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/rng"
 )
@@ -23,7 +24,7 @@ func NewErasure(n int, pe float64, src *rng.Source) (*Erasure, error) {
 	if n < 1 || n > 16 {
 		return nil, fmt.Errorf("channel: erasure symbol width %d out of [1,16]", n)
 	}
-	if pe < 0 || pe > 1 {
+	if math.IsNaN(pe) || pe < 0 || pe > 1 {
 		return nil, fmt.Errorf("channel: erasure probability %v out of [0,1]", pe)
 	}
 	if src == nil {
@@ -133,7 +134,7 @@ func NewSubstituting(n int, ps float64, src *rng.Source) (*Substituting, error) 
 	if n < 1 || n > 16 {
 		return nil, fmt.Errorf("channel: substituting symbol width %d out of [1,16]", n)
 	}
-	if ps < 0 || ps > 1 {
+	if math.IsNaN(ps) || ps < 0 || ps > 1 {
 		return nil, fmt.Errorf("channel: substitution probability %v out of [0,1]", ps)
 	}
 	if src == nil {

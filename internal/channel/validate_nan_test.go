@@ -1,0 +1,38 @@
+package channel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// Regression: NaN satisfies neither v < 0 nor v > 1, so the original
+// range checks silently accepted NaN probabilities and propagated them
+// into every downstream bound.
+func TestValidateRejectsNaNAndInf(t *testing.T) {
+	bad := []Params{
+		{N: 4, Pd: math.NaN()},
+		{N: 4, Pi: math.NaN()},
+		{N: 4, Ps: math.NaN()},
+		{N: 4, Pd: math.Inf(1)},
+		{N: 4, Pi: math.Inf(-1)},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", p)
+		}
+		if _, err := NewDeletionInsertion(p, rng.New(1)); err == nil {
+			t.Errorf("NewDeletionInsertion accepted %+v", p)
+		}
+	}
+}
+
+func TestErasureConstructorsRejectNaN(t *testing.T) {
+	if _, err := NewErasure(4, math.NaN(), rng.New(1)); err == nil {
+		t.Error("NewErasure accepted NaN erasure probability")
+	}
+	if _, err := NewBinaryDI(math.NaN(), 0, 0, rng.New(1)); err == nil {
+		t.Error("NewBinaryDI accepted NaN deletion probability")
+	}
+}

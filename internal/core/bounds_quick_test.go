@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/channel"
+)
+
+// validParams wraps channel.Params with a generator that only produces
+// parameter sets passing Validate, so testing/quick explores the whole
+// legal region instead of rejecting almost every draw.
+type validParams channel.Params
+
+// Generate implements quick.Generator.
+func (validParams) Generate(r *rand.Rand, _ int) reflect.Value {
+	n := 1 + r.Intn(16)
+	pd := r.Float64()
+	pi := r.Float64() * (1 - pd) // keeps Pd + Pi <= 1
+	ps := r.Float64()
+	return reflect.ValueOf(validParams{N: n, Pd: pd, Pi: pi, Ps: ps})
+}
+
+// TestQuickBoundOrdering property-checks the invariants the paper's
+// bound chain guarantees for every valid parameter set:
+//
+//	0 <= C_lowerT5 <= C_upper = N(1-Pd), and Ratio in [0,1].
+func TestQuickBoundOrdering(t *testing.T) {
+	const eps = 1e-9
+	f := func(vp validParams) bool {
+		p := channel.Params(vp)
+		b, err := ComputeBounds(p)
+		if err != nil {
+			t.Logf("ComputeBounds(%+v): %v", p, err)
+			return false
+		}
+		wantUpper := float64(p.N) * (1 - p.Pd)
+		if math.Abs(b.Upper-wantUpper) > eps*float64(p.N) {
+			t.Logf("%+v: Upper %v != N(1-Pd) %v", p, b.Upper, wantUpper)
+			return false
+		}
+		if b.LowerT5 < -eps || b.LowerT5 > b.Upper+eps*float64(p.N) {
+			t.Logf("%+v: LowerT5 %v outside [0, Upper=%v]", p, b.LowerT5, b.Upper)
+			return false
+		}
+		if b.LowerPerUse < -eps || b.LowerPerUse > b.Upper+eps*float64(p.N) {
+			t.Logf("%+v: LowerPerUse %v outside [0, Upper=%v]", p, b.LowerPerUse, b.Upper)
+			return false
+		}
+		if b.Ratio < 0 || b.Ratio > 1+eps {
+			t.Logf("%+v: Ratio %v outside [0,1]", p, b.Ratio)
+			return false
+		}
+		for name, v := range map[string]float64{
+			"Upper": b.Upper, "LowerT5": b.LowerT5, "LowerPerUse": b.LowerPerUse,
+			"Cconv": b.Cconv, "CconvLargeN": b.CconvLargeN, "Ratio": b.Ratio,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Logf("%+v: %s = %v not finite", p, name, v)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Rand:     rand.New(rand.NewSource(1)), // deterministic exploration
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

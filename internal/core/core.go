@@ -66,7 +66,7 @@ func ConvertedCapacity(n int, pi float64) (float64, error) {
 	if n < 1 || n > 16 {
 		return 0, fmt.Errorf("core: symbol width %d out of [1,16]", n)
 	}
-	if pi < 0 || pi > 1 {
+	if math.IsNaN(pi) || pi < 0 || pi > 1 {
 		return 0, fmt.Errorf("core: insertion probability %v out of [0,1]", pi)
 	}
 	e := Alpha(n) * pi
@@ -158,10 +158,10 @@ func ConvergenceRatio(n int, pd float64) (float64, error) {
 // capacity estimate c*(1-Pd). It returns an error if c is negative or
 // pd is outside [0,1].
 func Degrade(c, pd float64) (float64, error) {
-	if c < 0 || math.IsNaN(c) {
-		return 0, fmt.Errorf("core: synchronous capacity %v must be non-negative", c)
+	if math.IsNaN(c) || math.IsInf(c, 0) || c < 0 {
+		return 0, fmt.Errorf("core: synchronous capacity %v must be a non-negative finite value", c)
 	}
-	if pd < 0 || pd > 1 {
+	if math.IsNaN(pd) || pd < 0 || pd > 1 {
 		return 0, fmt.Errorf("core: deletion probability %v out of [0,1]", pd)
 	}
 	return c * (1 - pd), nil
@@ -245,7 +245,7 @@ func ConvertedChannelDMC(n int, pi float64) (*infotheory.DMC, error) {
 	if n < 1 || n > 12 {
 		return nil, fmt.Errorf("core: DMC width %d out of [1,12] (matrix size 2^N)", n)
 	}
-	if pi < 0 || pi > 1 {
+	if math.IsNaN(pi) || pi < 0 || pi > 1 {
 		return nil, fmt.Errorf("core: insertion probability %v out of [0,1]", pi)
 	}
 	return infotheory.MSC(1<<uint(n), Alpha(n)*pi)

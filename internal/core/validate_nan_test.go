@@ -1,0 +1,54 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/channel"
+)
+
+// Regression: Degrade(1.0, NaN) formerly returned NaN because NaN
+// passes the pd < 0 || pd > 1 check; the NaN then contaminated every
+// corrected capacity it touched.
+func TestDegradeRejectsNaN(t *testing.T) {
+	if _, err := Degrade(1.0, math.NaN()); err == nil {
+		t.Error("Degrade accepted NaN deletion probability")
+	}
+	if _, err := Degrade(math.NaN(), 0.1); err == nil {
+		t.Error("Degrade accepted NaN capacity")
+	}
+	if _, err := Degrade(math.Inf(1), 0.1); err == nil {
+		t.Error("Degrade accepted +Inf capacity")
+	}
+	if _, err := Degrade(1.0, math.Inf(1)); err == nil {
+		t.Error("Degrade accepted +Inf deletion probability")
+	}
+	got, err := Degrade(2, 0.25)
+	if err != nil || got != 1.5 {
+		t.Errorf("Degrade(2, 0.25) = %v, %v; want 1.5, nil", got, err)
+	}
+}
+
+func TestConvertedCapacityRejectsNaN(t *testing.T) {
+	if _, err := ConvertedCapacity(4, math.NaN()); err == nil {
+		t.Error("ConvertedCapacity accepted NaN insertion probability")
+	}
+	if _, err := ConvertedChannelDMC(4, math.NaN()); err == nil {
+		t.Error("ConvertedChannelDMC accepted NaN insertion probability")
+	}
+}
+
+// Regression: Params{Pd: NaN} slipped through ComputeBounds and turned
+// every bound into NaN.
+func TestComputeBoundsRejectsNaNParams(t *testing.T) {
+	for _, p := range []channel.Params{
+		{N: 4, Pd: math.NaN()},
+		{N: 4, Pi: math.NaN()},
+		{N: 4, Pd: 0.1, Pi: math.NaN()},
+	} {
+		b, err := ComputeBounds(p)
+		if err == nil {
+			t.Errorf("ComputeBounds accepted %+v and returned %+v", p, b)
+		}
+	}
+}

@@ -65,7 +65,7 @@ func ExactUniformRate(n int, pd float64) (float64, error) {
 	if n < 1 || n > 12 {
 		return 0, fmt.Errorf("delcap: blocklength %d out of [1,12] for exact enumeration", n)
 	}
-	if pd < 0 || pd > 1 {
+	if math.IsNaN(pd) || pd < 0 || pd > 1 {
 		return 0, fmt.Errorf("delcap: deletion probability %v out of [0,1]", pd)
 	}
 	if pd == 1 {
@@ -133,7 +133,7 @@ func MonteCarloUniformRate(n int, pd float64, samples int, src *rng.Source) (flo
 	if n < 1 || n > 20 {
 		return 0, fmt.Errorf("delcap: blocklength %d out of [1,20]", n)
 	}
-	if pd < 0 || pd > 1 {
+	if math.IsNaN(pd) || pd < 0 || pd > 1 {
 		return 0, fmt.Errorf("delcap: deletion probability %v out of [0,1]", pd)
 	}
 	if samples < 1 {

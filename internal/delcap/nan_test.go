@@ -1,0 +1,21 @@
+package delcap
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// Regression: NaN passed the pd range checks and produced NaN rates.
+func TestRateFunctionsRejectNaN(t *testing.T) {
+	if _, err := ExactUniformRate(4, math.NaN()); err == nil {
+		t.Error("ExactUniformRate accepted NaN deletion probability")
+	}
+	if _, err := MonteCarloUniformRate(8, math.NaN(), 10, rng.New(1)); err == nil {
+		t.Error("MonteCarloUniformRate accepted NaN deletion probability")
+	}
+	if _, err := ExactUniformRate(4, math.Inf(1)); err == nil {
+		t.Error("ExactUniformRate accepted +Inf deletion probability")
+	}
+}

@@ -60,6 +60,7 @@ func A1DriftWindow(cfg Config) (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
+		t.Uses += int64(len(tx))
 		start := time.Now()
 		dec, err := wc.Decode(recv, numSyms)
 		elapsed := time.Since(start)
@@ -148,6 +149,7 @@ func A2OuterRedundancy(cfg Config) (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
+		t.Uses += int64(len(tx))
 		dec, err := wc.Decode(recv, len(stream))
 		if err != nil {
 			return Table{}, err
@@ -222,6 +224,7 @@ func A3SparseLength(cfg Config) (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
+		t.Uses += int64(len(tx))
 		dec, err := wc.Decode(recv, numSyms)
 		if err != nil {
 			t.Rows = append(t.Rows, []string{fmt.Sprint(sparse), f3(wc.Rate()), f3(wc.Density()), "failed"})
@@ -239,18 +242,4 @@ func A3SparseLength(cfg Config) (Table, error) {
 		})
 	}
 	return t, nil
-}
-
-// Ablations runs every ablation experiment.
-func Ablations(cfg Config) ([]Table, error) {
-	runs := []func(Config) (Table, error){A1DriftWindow, A2OuterRedundancy, A3SparseLength, A4Burstiness, A5FeedbackDelay}
-	tables := make([]Table, 0, len(runs))
-	for _, run := range runs {
-		t, err := run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %w", err)
-		}
-		tables = append(tables, t)
-	}
-	return tables, nil
 }

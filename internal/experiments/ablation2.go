@@ -51,6 +51,7 @@ func A4Burstiness(cfg Config) (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
+		t.Uses += int64(res.Uses)
 		stat := bp.StationaryParams()
 		bound, err := core.LowerBoundPerUse(stat)
 		if err != nil {
@@ -99,6 +100,7 @@ func A5FeedbackDelay(cfg Config) (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
+		t.Uses += int64(res.Uses)
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(delay), f4(arq.PredictedRate()), f4(res.InfoRatePerUse()),
 			fmt.Sprint(res.SymbolErrors),

@@ -62,6 +62,7 @@ func E1UpperBound(cfg Config) (Table, error) {
 					return Table{}, err
 				}
 			}
+			t.Uses += int64(len(out))
 			mi := jc.MutualInformation()
 			ratio := 0.0
 			if upper > 0 {
@@ -107,6 +108,7 @@ func E2FeedbackARQ(cfg Config) (Table, error) {
 			if err != nil {
 				return Table{}, err
 			}
+			t.Uses += int64(res.Uses)
 			t.Rows = append(t.Rows, []string{
 				fmt.Sprint(n), f3(pd), f4(capacity), f4(res.InfoRatePerUse()),
 				f3(float64(res.Uses) / float64(res.MessageSymbols)),
@@ -155,6 +157,7 @@ func E3CounterProtocol(cfg Config) (Table, error) {
 			if err != nil {
 				return Table{}, err
 			}
+			t.Uses += int64(res.Uses)
 			predErr := core.Alpha(n) * p.Pi / (1 - p.Pd)
 			// The plug-in MI estimator is biased upward for large
 			// alphabets at protocol-run sample sizes; use the

@@ -34,40 +34,46 @@ func E6NoSyncCoding(cfg Config) (Table, error) {
 		},
 	}
 
-	wmRow, err := e6Watermark(cfg, 0.01, 0.01)
+	wmRow, wmUses, err := e6Watermark(cfg, 0.01, 0.01)
 	if err != nil {
 		return Table{}, fmt.Errorf("watermark: %w", err)
 	}
 	t.Rows = append(t.Rows, wmRow)
+	t.Uses += wmUses
 
-	convRow, err := e6Conv(cfg, 0.004, 0.004)
+	convRow, convUses, err := e6Conv(cfg, 0.004, 0.004)
 	if err != nil {
 		return Table{}, fmt.Errorf("conv: %w", err)
 	}
 	t.Rows = append(t.Rows, convRow)
+	t.Uses += convUses
 
-	seqRow, err := e6Sequential(cfg, 0.004, 0.004)
+	seqRow, seqUses, err := e6Sequential(cfg, 0.004, 0.004)
 	if err != nil {
 		return Table{}, fmt.Errorf("sequential: %w", err)
 	}
 	t.Rows = append(t.Rows, seqRow)
+	t.Uses += seqUses
 
-	vtRow, err := e6VT(cfg)
+	vtRow, vtUses, err := e6VT(cfg)
 	if err != nil {
 		return Table{}, fmt.Errorf("vt: %w", err)
 	}
 	t.Rows = append(t.Rows, vtRow)
+	t.Uses += vtUses
 
-	markerRow, err := e6Marker(cfg, 0.002, 0.002)
+	markerRow, markerUses, err := e6Marker(cfg, 0.002, 0.002)
 	if err != nil {
 		return Table{}, fmt.Errorf("marker: %w", err)
 	}
 	t.Rows = append(t.Rows, markerRow)
+	t.Uses += markerUses
 	return t, nil
 }
 
-// e6Watermark measures the watermark + RS(15,11) pipeline.
-func e6Watermark(cfg Config, pd, pi float64) ([]string, error) {
+// e6Watermark measures the watermark + RS(15,11) pipeline. The second
+// return value counts binary channel uses (bits pushed through).
+func e6Watermark(cfg Config, pd, pi float64) ([]string, int64, error) {
 	wp := watermark.Params{
 		ChunkBits: 4,
 		SparseLen: 8,
@@ -78,15 +84,15 @@ func e6Watermark(cfg Config, pd, pi float64) ([]string, error) {
 	}
 	wc, err := watermark.New(wp)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	field, err := gf.Default(4)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	outer, err := rs.New(field, 15, 11)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 
 	blocks := cfg.CodedSymbols / 15
@@ -107,7 +113,7 @@ func e6Watermark(cfg Config, pd, pi float64) ([]string, error) {
 		}
 		cw, err := outer.Encode(msg)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		payload = append(payload, msg...)
 		codeword = append(codeword, cw...)
@@ -115,19 +121,19 @@ func e6Watermark(cfg Config, pd, pi float64) ([]string, error) {
 	}
 	tx, err := wc.Encode(codeword)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	ch, err := channel.NewBinaryDI(pd, pi, 0, rng.New(cfg.Seed+105))
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	recv, err := ch.Transmit(tx)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	dec, err := wc.Decode(recv, len(codeword))
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	// Outer decode block by block.
 	var decoded []uint32
@@ -152,11 +158,11 @@ func e6Watermark(cfg Config, pd, pi float64) ([]string, error) {
 	return []string{
 		"watermark+RS(15,11)", f3(pd), f3(pi), f4(rate),
 		f4(float64(wrongSyms) / float64(len(payload))), f4(core.DeletionUpperBoundTrivial(pd)),
-	}, nil
+	}, int64(len(tx)), nil
 }
 
 // e6Conv measures the drift-trellis convolutional decoder frame-wise.
-func e6Conv(cfg Config, pd, pi float64) ([]string, error) {
+func e6Conv(cfg Config, pd, pi float64) ([]string, int64, error) {
 	c := conv.Standard()
 	frames := cfg.CodedSymbols / 20
 	if frames < 5 {
@@ -172,15 +178,15 @@ func e6Conv(cfg Config, pd, pi float64) ([]string, error) {
 		}
 		cw, err := c.Encode(msg)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		ch, err := channel.NewBinaryDI(pd, pi, 0, rng.New(cfg.Seed+200+uint64(fIdx)))
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		recv, err := ch.Transmit(cw)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		sentBits += len(cw)
 		got, err := c.DecodeDrift(recv, msgBits, conv.DriftParams{Pd: pd, Pi: pi, MaxDrift: 12})
@@ -203,12 +209,12 @@ func e6Conv(cfg Config, pd, pi float64) ([]string, error) {
 	return []string{
 		"conv(7,5)+drift-Viterbi", f3(pd), f3(pi), f4(rate),
 		f4(float64(wrongBits) / float64(frames*msgBits)), f4(core.DeletionUpperBoundTrivial(pd)),
-	}, nil
+	}, int64(sentBits), nil
 }
 
 // e6Sequential measures the Zigangirov-style stack decoder (the
 // paper's reference [12] proper) frame-wise, tracking its work factor.
-func e6Sequential(cfg Config, pd, pi float64) ([]string, error) {
+func e6Sequential(cfg Config, pd, pi float64) ([]string, int64, error) {
 	c := conv.Standard()
 	frames := cfg.CodedSymbols / 20
 	if frames < 5 {
@@ -225,15 +231,15 @@ func e6Sequential(cfg Config, pd, pi float64) ([]string, error) {
 		}
 		cw, err := c.Encode(msg)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		ch, err := channel.NewBinaryDI(pd, pi, 0, rng.New(cfg.Seed+400+uint64(fIdx)))
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		recv, err := ch.Transmit(cw)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		sentBits += len(cw)
 		got, _, err := c.DecodeSequential(recv, msgBits, params)
@@ -256,15 +262,15 @@ func e6Sequential(cfg Config, pd, pi float64) ([]string, error) {
 	return []string{
 		"conv(7,5)+sequential[12]", f3(pd), f3(pi), f4(rate),
 		f4(float64(wrongBits) / float64(frames*msgBits)), f4(core.DeletionUpperBoundTrivial(pd)),
-	}, nil
+	}, int64(sentBits), nil
 }
 
 // e6VT measures VT(16) blocks in the single-event-per-block regime the
 // code is designed for (at most one deletion or insertion per block).
-func e6VT(cfg Config) ([]string, error) {
+func e6VT(cfg Config) ([]string, int64, error) {
 	code, err := vt.New(16)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	blocks := cfg.CodedSymbols
 	src := rng.New(cfg.Seed + 109)
@@ -278,7 +284,7 @@ func e6VT(cfg Config) ([]string, error) {
 		}
 		cw, err := code.Encode(msg)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		sentBits += code.N()
 		// Apply at most one synchronization event per block.
@@ -307,23 +313,23 @@ func e6VT(cfg Config) ([]string, error) {
 	return []string{
 		"VT(16) single-event blocks", f4(pEvent), f4(pEvent), f4(rate),
 		f4(float64(wrong) / float64(blocks)), f4(core.DeletionUpperBoundTrivial(pEvent)),
-	}, nil
+	}, int64(sentBits), nil
 }
 
 // e6Marker measures marker framing with an RS outer code treating lost
 // frames as erasures.
-func e6Marker(cfg Config, pd, pi float64) ([]string, error) {
+func e6Marker(cfg Config, pd, pi float64) ([]string, int64, error) {
 	mc, err := marker.New(marker.DefaultMarker(), 16, 4, 1)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	field, err := gf.Default(4)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	outer, err := rs.New(field, 15, 9)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	groups := cfg.CodedSymbols / 15
 	if groups < 4 {
@@ -340,7 +346,7 @@ func e6Marker(cfg Config, pd, pi float64) ([]string, error) {
 		}
 		cw, err := outer.Encode(msg)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		bits := make([]byte, 0, 64)
 		for _, s := range cw {
@@ -352,21 +358,21 @@ func e6Marker(cfg Config, pd, pi float64) ([]string, error) {
 		blocks := [][]byte{bits[0:16], bits[16:32], bits[32:48], bits[48:64]}
 		stream, err := mc.Encode(blocks)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		sentBits += len(stream)
 		infoBits += 9 * 4
 		ch, err := channel.NewBinaryDI(pd, pi, 0, rng.New(cfg.Seed+300+uint64(g)))
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		recvStream, err := ch.Transmit(stream)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		decBlocks, err := mc.Decode(recvStream, 4)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		recvBits := make([]byte, 0, 64)
 		var erasedBits []bool
@@ -408,5 +414,5 @@ func e6Marker(cfg Config, pd, pi float64) ([]string, error) {
 	return []string{
 		"marker(7)+RS(15,9)", f3(pd), f3(pi), f4(rate),
 		f4(float64(wrongSyms) / float64(totalSyms)), f4(core.DeletionUpperBoundTrivial(pd)),
-	}, nil
+	}, int64(sentBits), nil
 }

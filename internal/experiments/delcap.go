@@ -43,6 +43,7 @@ func E11DeletionRates(cfg Config) (Table, error) {
 			return Table{}, err
 		}
 		row = append(row, f4(mc), f4(delcap.ErasureUpperBound(pd)))
+		t.Uses += int64(samples) * 20 // Monte-Carlo bits per row
 		t.Rows = append(t.Rows, row)
 	}
 	return t, nil

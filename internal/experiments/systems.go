@@ -71,6 +71,7 @@ func E7CommonEvents(cfg Config) (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
+		t.Uses += int64(resARQ.Uses + resCE.Uses + res4b.Uses + resNaive.Uses)
 		ratio := 0.0
 		if resARQ.InfoRatePerUse() > 0 {
 			ratio = resCE.InfoRatePerUse() / resARQ.InfoRatePerUse()
@@ -143,6 +144,7 @@ func E8Scheduler(cfg Config) (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
+		t.Uses += int64(cfg.Quanta) + int64(cfg.Quanta)*4
 		t.Rows = append(t.Rows, []string{
 			pol.name, f4(pd), f4(pi), f3(cSync), f3(cCorr), f4(session.BitsPerQuantum()),
 		})
@@ -180,6 +182,7 @@ func E9MLS(cfg Config) (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
+		t.Uses += int64(res.Uses)
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(n), f3(p.Pd), f3(p.Pi), f4(bound), f4(res.InfoRatePerUse()),
 			fmt.Sprint(res.SymbolErrors), fmt.Sprint(res.FeedbackWrites),

@@ -23,6 +23,13 @@ type Table struct {
 	Rows [][]string
 	// Notes carries caveats and the expected shape of the results.
 	Notes []string
+	// Uses is the approximate number of channel uses (Definition 1
+	// events, bits, or quanta, whichever the experiment simulates)
+	// the experiment pushed through its simulations: the work metric
+	// reported by the runner's summary. Purely analytic experiments
+	// leave it 0. It is not printed by Format, so it never perturbs
+	// the regenerated tables.
+	Uses int64
 }
 
 // Format writes the table as aligned text.
@@ -36,7 +43,13 @@ func (t Table) Format(w io.Writer) error {
 	}
 	for _, row := range t.Rows {
 		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
+			// Ragged rows may carry more cells than the header;
+			// grow the width table rather than dropping (or, worse,
+			// indexing past) the extra columns.
+			if i == len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
 				widths[i] = len(cell)
 			}
 		}
@@ -44,7 +57,11 @@ func (t Table) Format(w io.Writer) error {
 	line := func(cells []string) string {
 		parts := make([]string, len(cells))
 		for i, cell := range cells {
-			parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", w, cell)
 		}
 		return strings.TrimRight(strings.Join(parts, "  "), " ")
 	}
@@ -116,31 +133,4 @@ func (c Config) withDefaults() Config {
 		c.Seed = 1
 	}
 	return c
-}
-
-// All runs every experiment in order.
-func All(cfg Config) ([]Table, error) {
-	runs := []func(Config) (Table, error){
-		E1UpperBound,
-		E2FeedbackARQ,
-		E3CounterProtocol,
-		E4Convergence,
-		E5BlahutArimoto,
-		E6NoSyncCoding,
-		E7CommonEvents,
-		E8Scheduler,
-		E9MLS,
-		E10Baselines,
-		E11DeletionRates,
-		E12TimingChannel,
-	}
-	tables := make([]Table, 0, len(runs))
-	for _, run := range runs {
-		t, err := run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %w", err)
-		}
-		tables = append(tables, t)
-	}
-	return tables, nil
 }

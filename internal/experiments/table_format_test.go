@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Regression: Format indexed widths[i] unguarded, panicking on any row
+// with more cells than the header.
+func TestTableFormatRaggedRows(t *testing.T) {
+	tab := Table{
+		ID:     "EX",
+		Title:  "ragged",
+		Header: []string{"a", "b"},
+		Rows: [][]string{
+			{"1"},                      // shorter than header
+			{"22", "333", "4444", "5"}, // longer than header
+			{"6", "7"},                 // exact
+		},
+	}
+	var buf bytes.Buffer
+	if err := tab.Format(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"1", "22", "4444", "5", "6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted output lost cell %q:\n%s", want, out)
+		}
+	}
+	// Extra columns must still be padded consistently: "333" widened the
+	// third column, so "4444" stays intact and separated.
+	if !strings.Contains(out, "22  333  4444  5") {
+		t.Errorf("ragged row not aligned as expected:\n%s", out)
+	}
+}

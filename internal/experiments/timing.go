@@ -53,6 +53,7 @@ func E12TimingChannel(cfg Config) (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
+		t.Uses += int64(calib)
 		t.Rows = append(t.Rows, []string{
 			f3(tc.jitter), f3(tc.gran), f3(tc.pmiss),
 			f4(sync), f4(p.Pd), f4(corrected),

@@ -185,7 +185,7 @@ func (c *DMC) Compose(d *DMC) (*DMC, error) {
 
 // BSC returns the binary symmetric channel with crossover probability p.
 func BSC(p float64) (*DMC, error) {
-	if p < 0 || p > 1 {
+	if math.IsNaN(p) || p < 0 || p > 1 {
 		return nil, fmt.Errorf("infotheory: BSC crossover %v out of [0,1]", p)
 	}
 	return NewDMC([][]float64{{1 - p, p}, {p, 1 - p}})
@@ -194,7 +194,7 @@ func BSC(p float64) (*DMC, error) {
 // BEC returns the binary erasure channel with erasure probability p;
 // output symbol 2 is the erasure.
 func BEC(p float64) (*DMC, error) {
-	if p < 0 || p > 1 {
+	if math.IsNaN(p) || p < 0 || p > 1 {
 		return nil, fmt.Errorf("infotheory: BEC erasure %v out of [0,1]", p)
 	}
 	return NewDMC([][]float64{{1 - p, 0, p}, {0, 1 - p, p}})
@@ -204,7 +204,7 @@ func BEC(p float64) (*DMC, error) {
 // probability p and input 0 is always received correctly, the model
 // underlying Moskowitz's timed Z-channel analysis [11].
 func ZChannel(p float64) (*DMC, error) {
-	if p < 0 || p > 1 {
+	if math.IsNaN(p) || p < 0 || p > 1 {
 		return nil, fmt.Errorf("infotheory: Z-channel flip %v out of [0,1]", p)
 	}
 	return NewDMC([][]float64{{1, 0}, {p, 1 - p}})
@@ -218,7 +218,7 @@ func MSC(m int, e float64) (*DMC, error) {
 	if m < 2 {
 		return nil, fmt.Errorf("infotheory: MSC needs m >= 2, got %d", m)
 	}
-	if e < 0 || e > 1 {
+	if math.IsNaN(e) || e < 0 || e > 1 {
 		return nil, fmt.Errorf("infotheory: MSC error rate %v out of [0,1]", e)
 	}
 	w := make([][]float64, m)

@@ -127,6 +127,37 @@ func (r *Source) Split() *Source {
 	return New(r.Uint64())
 }
 
+// mix64 is the splitmix64 output function: a full-avalanche 64-bit
+// mixer, the same finalizer New uses to expand seeds into state.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Stream derives the i-th sub-seed of seed: element i of the splitmix64
+// sequence keyed by seed. Distinct (seed, i) pairs yield decorrelated
+// sub-seeds, so independent components (e.g. experiments run by a
+// parallel harness) can each draw from their own stream while remaining
+// a pure function of the master seed — results do not depend on
+// scheduling or execution order. The result is never 0, so callers that
+// treat a zero seed as "unset" cannot be confused by a derived seed.
+func Stream(seed, i uint64) uint64 {
+	const golden = 0x9e3779b97f4a7c15
+	base := mix64(seed + golden)
+	s := mix64(base + (i+1)*golden)
+	if s == 0 {
+		s = golden
+	}
+	return s
+}
+
+// NewStream returns New(Stream(seed, i)): a Source positioned on the
+// i-th independent sub-stream of the master seed.
+func NewStream(seed, i uint64) *Source {
+	return New(Stream(seed, i))
+}
+
 // ExpFloat64 returns an exponentially distributed value with rate 1,
 // via inversion. Multiply by the desired mean to rescale.
 func (r *Source) ExpFloat64() float64 {

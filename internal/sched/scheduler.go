@@ -16,6 +16,7 @@ package sched
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/rng"
 )
@@ -137,7 +138,7 @@ func NewFuzzy(base Scheduler, pRandom float64) (*Fuzzy, error) {
 	if base == nil {
 		return nil, fmt.Errorf("sched: nil base scheduler")
 	}
-	if pRandom < 0 || pRandom > 1 {
+	if math.IsNaN(pRandom) || pRandom < 0 || pRandom > 1 {
 		return nil, fmt.Errorf("sched: perturbation probability %v out of [0,1]", pRandom)
 	}
 	return &Fuzzy{base: base, pRandom: pRandom}, nil

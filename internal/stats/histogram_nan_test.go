@@ -1,0 +1,49 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// Regression: Histogram.Add fed NaN through an int(float64) conversion
+// whose result is implementation-defined; NaN must instead land in an
+// explicit discarded counter.
+func TestHistogramDiscardsNaN(t *testing.T) {
+	h, err := NewHistogram(0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(0.1)
+	h.Add(math.NaN())
+	h.Add(0.9)
+	h.Add(math.NaN())
+	if got := h.Total(); got != 2 {
+		t.Errorf("Total() = %d, want 2 (NaNs excluded)", got)
+	}
+	if got := h.Discarded(); got != 2 {
+		t.Errorf("Discarded() = %d, want 2", got)
+	}
+	sum := 0
+	for _, c := range h.Counts() {
+		sum += c
+	}
+	if sum != 2 {
+		t.Errorf("bin counts sum to %d, want 2", sum)
+	}
+}
+
+func TestHistogramInfGoesToEdgeBins(t *testing.T) {
+	h, err := NewHistogram(0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(math.Inf(-1))
+	h.Add(math.Inf(1))
+	counts := h.Counts()
+	if counts[0] != 1 || counts[len(counts)-1] != 1 {
+		t.Errorf("±Inf not clamped to edge bins: %v", counts)
+	}
+	if h.Total() != 2 || h.Discarded() != 0 {
+		t.Errorf("Total/Discarded = %d/%d, want 2/0", h.Total(), h.Discarded())
+	}
+}

@@ -140,11 +140,15 @@ func AutoCorrelation(xs []float64, lag int) (float64, error) {
 }
 
 // Histogram counts observations in equal-width bins over [min, max).
-// Observations outside the range are counted in the nearest edge bin.
+// Observations outside the range are counted in the nearest edge bin;
+// NaN observations are discarded (and counted separately) rather than
+// fed through a float-to-int conversion, whose result for NaN is
+// implementation-defined in Go.
 type Histogram struct {
-	min, max float64
-	counts   []int
-	total    int
+	min, max  float64
+	counts    []int
+	total     int
+	discarded int
 }
 
 // NewHistogram returns a histogram with the given bin count over
@@ -159,17 +163,28 @@ func NewHistogram(min, max float64, bins int) (*Histogram, error) {
 	return &Histogram{min: min, max: max, counts: make([]int, bins)}, nil
 }
 
-// Add records one observation.
+// Add records one observation. NaN observations are discarded.
 func (h *Histogram) Add(x float64) {
-	idx := int(float64(len(h.counts)) * (x - h.min) / (h.max - h.min))
-	if idx < 0 {
-		idx = 0
+	if math.IsNaN(x) {
+		h.discarded++
+		return
 	}
+	h.total++
+	// Resolve out-of-range values (including ±Inf) by float comparison
+	// before the int conversion, which is only defined in range.
+	if x <= h.min {
+		h.counts[0]++
+		return
+	}
+	if x >= h.max {
+		h.counts[len(h.counts)-1]++
+		return
+	}
+	idx := int(float64(len(h.counts)) * (x - h.min) / (h.max - h.min))
 	if idx >= len(h.counts) {
 		idx = len(h.counts) - 1
 	}
 	h.counts[idx]++
-	h.total++
 }
 
 // Counts returns a copy of the per-bin counts.
@@ -179,5 +194,8 @@ func (h *Histogram) Counts() []int {
 	return out
 }
 
-// Total returns the number of observations recorded.
+// Total returns the number of observations recorded (NaNs excluded).
 func (h *Histogram) Total() int { return h.total }
+
+// Discarded returns the number of NaN observations dropped by Add.
+func (h *Histogram) Discarded() int { return h.discarded }

@@ -2,6 +2,7 @@ package syncproto
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/rng"
 )
@@ -32,10 +33,10 @@ func NewCommonEvent(n int, missS, missR float64, src *rng.Source) (*CommonEvent,
 	if n < 1 || n > 16 {
 		return nil, fmt.Errorf("syncproto: symbol width %d out of [1,16]", n)
 	}
-	if missS < 0 || missS > 1 {
+	if math.IsNaN(missS) || missS < 0 || missS > 1 {
 		return nil, fmt.Errorf("syncproto: sender miss probability %v out of [0,1]", missS)
 	}
-	if missR < 0 || missR > 1 {
+	if math.IsNaN(missR) || missR < 0 || missR > 1 {
 		return nil, fmt.Errorf("syncproto: receiver miss probability %v out of [0,1]", missR)
 	}
 	if src == nil {

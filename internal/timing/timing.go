@@ -21,6 +21,7 @@ package timing
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/channel"
 	"repro/internal/infotheory"
@@ -54,16 +55,16 @@ func (c Config) Validate() error {
 	if c.D0 <= 0 || c.D1 <= c.D0 {
 		return fmt.Errorf("timing: need 0 < D0 < D1, got (%v, %v)", c.D0, c.D1)
 	}
-	if c.Jitter < 0 {
+	if math.IsNaN(c.Jitter) || math.IsInf(c.Jitter, 0) || c.Jitter < 0 {
 		return fmt.Errorf("timing: negative jitter %v", c.Jitter)
 	}
-	if c.Granularity < 0 {
+	if math.IsNaN(c.Granularity) || math.IsInf(c.Granularity, 0) || c.Granularity < 0 {
 		return fmt.Errorf("timing: negative granularity %v", c.Granularity)
 	}
-	if c.PMiss < 0 || c.PMiss > 0.9 {
+	if math.IsNaN(c.PMiss) || c.PMiss < 0 || c.PMiss > 0.9 {
 		return fmt.Errorf("timing: PMiss %v out of [0, 0.9]", c.PMiss)
 	}
-	if c.PSpurious < 0 || c.PSpurious > 0.9 {
+	if math.IsNaN(c.PSpurious) || c.PSpurious < 0 || c.PSpurious > 0.9 {
 		return fmt.Errorf("timing: PSpurious %v out of [0, 0.9]", c.PSpurious)
 	}
 	return nil
