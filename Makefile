@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench-smoke bench
+.PHONY: ci fmt vet build test race race-hostile fuzz-smoke bench-smoke bench
 
-ci: fmt vet build test race bench-smoke
+ci: fmt vet build test race race-hostile fuzz-smoke bench-smoke
 
 # gofmt -l prints offending files; fail if it prints anything.
 fmt:
@@ -27,6 +27,19 @@ test:
 # guards the result-slot and seed-stream plumbing.
 race:
 	$(GO) test -race ./...
+
+# Focused race pass over the fault-injection middleware and the
+# supervision machinery: the packages where budget panics, backoff
+# burns and meter accounting interleave.
+race-hostile:
+	$(GO) test -race ./internal/faultinject/... ./internal/syncproto/...
+
+# 30 seconds per native fuzz target: the Definition 1 trace invariants
+# and the fault-spec grammar. Regressions the unit corpus misses show
+# up here first.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzDeletionInsertionTransmit$$' -fuzztime 30s ./internal/channel
+	$(GO) test -run '^$$' -fuzz '^FuzzParseSpec$$' -fuzztime 30s ./internal/faultinject
 
 # One iteration of the serial/parallel batch benchmarks, as a smoke
 # test that the benchmark harness itself still runs.

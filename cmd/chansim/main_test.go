@@ -75,6 +75,53 @@ func TestRunProtocols(t *testing.T) {
 	}
 }
 
+func TestRunInjected(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want []string
+	}{
+		{
+			name: "counter outage",
+			args: []string{"-proto", "counter", "-n", "4", "-pd", "0.1", "-symbols", "3000",
+				"-inject", "outage=0.2"},
+			want: []string{"protocol:            counter (supervised)",
+				"fault spec:          outage=0.2", "supervision status:"},
+		},
+		{
+			name: "arq jam",
+			args: []string{"-proto", "arq", "-n", "4", "-pd", "0.1", "-symbols", "2000",
+				"-inject", "jam=0.1"},
+			want: []string{"protocol:            arq (supervised)", "injected faults:"},
+		},
+		{
+			name: "naive stuck plus drift",
+			args: []string{"-proto", "naive", "-n", "4", "-pd", "0.05", "-symbols", "2000",
+				"-inject", "stuck=0.1;drift=0.05"},
+			want: []string{"fault spec:          stuck=0.1;drift=0.05", "resyncs:"},
+		},
+		{
+			name: "delayed drift",
+			args: []string{"-proto", "delayed", "-n", "4", "-pd", "0.1", "-delay", "1",
+				"-symbols", "2000", "-inject", "drift=0.1"},
+			want: []string{"protocol:            delayed (supervised)"},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			out, err := capture(t, func() error { return run(tt.args) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, want := range tt.want {
+				if !strings.Contains(out, want) {
+					t.Fatalf("output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	cases := [][]string{
 		{"-proto", "bogus"},
@@ -83,6 +130,11 @@ func TestRunErrors(t *testing.T) {
 		{"-proto", "syncvar", "-psender", "0"},
 		{"-proto", "event", "-miss", "-0.1"},
 		{"-badflag"},
+		// -inject rejects channel-less protocols and malformed specs.
+		{"-proto", "event", "-inject", "outage=0.1"},
+		{"-proto", "syncvar", "-inject", "outage=0.1"},
+		{"-proto", "counter", "-inject", "outage=1.5"},
+		{"-proto", "counter", "-inject", "gremlins=0.1"},
 	}
 	for _, args := range cases {
 		if _, err := capture(t, func() error { return run(args) }); err == nil {

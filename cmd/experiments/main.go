@@ -44,6 +44,7 @@ func run(args []string) error {
 		jobs      = fs.Int("jobs", 0, "max concurrent experiments (0 = GOMAXPROCS); does not affect output")
 		timeout   = fs.Duration("timeout", 0, "per-experiment wall-time limit (0 = none)")
 		summary   = fs.Bool("summary", true, "print the runner timing summary to stderr")
+		inject    = fs.String("inject", "", "fault-injection spec for E13's custom regime, e.g. 'outage=0.2;jam=0.1'")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,6 +54,7 @@ func run(args []string) error {
 		CodedSymbols: *coded,
 		Quanta:       *quanta,
 		Seed:         *seed,
+		Inject:       *inject,
 	}
 	var ids []string
 	for _, id := range strings.Split(*only, ",") {

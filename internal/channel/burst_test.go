@@ -98,6 +98,69 @@ func TestBurstyLongRunRatesMatchStationary(t *testing.T) {
 	}
 }
 
+// TestBurstyUseConvergesToStationary drives the per-use interface (the
+// one the synchronization protocols actually exercise) and checks the
+// empirical deletion and insertion fractions converge to
+// StationaryParams(): the error at 400k uses must sit inside an
+// absolute tolerance AND be no worse than at 25k uses, for both a
+// deletion-heavy and an insertion-heavy regime.
+func TestBurstyUseConvergesToStationary(t *testing.T) {
+	regimes := []struct {
+		name string
+		p    BurstParams
+	}{
+		{"deletion-heavy", burstConfig()},
+		{"insertion-heavy", BurstParams{
+			N:          4,
+			Good:       Params{Pd: 0.01, Pi: 0.05},
+			Bad:        Params{Pd: 0.1, Pi: 0.45},
+			PGoodToBad: 0.05,
+			PBadToGood: 0.1,
+		}},
+	}
+	for ri, reg := range regimes {
+		t.Run(reg.name, func(t *testing.T) {
+			c, err := NewBursty(reg.p, rng.New(uint64(11+ri)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp := reg.p.StationaryParams()
+			// err(k) = max(|pd_hat - Pd|, |pi_hat - Pi|) after k uses.
+			empErr := func(uses, del, ins int) float64 {
+				pd := float64(del) / float64(uses)
+				pi := float64(ins) / float64(uses)
+				return math.Max(math.Abs(pd-sp.Pd), math.Abs(pi-sp.Pi))
+			}
+			var del, ins int
+			var early float64
+			const (
+				earlyUses = 25000
+				totalUses = 400000
+			)
+			for i := 1; i <= totalUses; i++ {
+				switch c.Use(3).Kind {
+				case EventDelete:
+					del++
+				case EventInsert:
+					ins++
+				}
+				if i == earlyUses {
+					early = empErr(i, del, ins)
+				}
+			}
+			late := empErr(totalUses, del, ins)
+			if late > 0.01 {
+				t.Errorf("empirical rates off stationary by %.4f after %d uses, want <= 0.01",
+					late, totalUses)
+			}
+			if late > early+1e-9 && early > 0.005 {
+				t.Errorf("error grew with run length: %.4f at %d uses vs %.4f at %d uses",
+					late, totalUses, early, earlyUses)
+			}
+		})
+	}
+}
+
 func TestBurstyDeletionsAreBursty(t *testing.T) {
 	// Deletions must cluster: P(delete at t+1 | delete at t) well above
 	// the marginal deletion rate, unlike the i.i.d. channel.

@@ -78,6 +78,11 @@ func (p Params) Validate() error {
 	if p.Pd+p.Pi > 1 {
 		return fmt.Errorf("channel: Pd + Pi = %v exceeds 1", p.Pd+p.Pi)
 	}
+	if p.Pi == 1 {
+		// Pt = Pd = 0: no use can ever consume a queued symbol, so
+		// Transmit would insert forever without terminating.
+		return fmt.Errorf("channel: Pi = 1 never consumes input")
+	}
 	return nil
 }
 

@@ -1,0 +1,88 @@
+package channel
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// FuzzDeletionInsertionTransmit pins the Definition 1 trace invariants
+// over fuzzed parameters, seeds and message lengths:
+//
+//   - consuming events (transmit/substitute/delete) == len(input):
+//     every queued symbol is consumed exactly once;
+//   - len(received) == inserts + transmits + substitutes: the receiver
+//     observes exactly the non-deleted uses;
+//   - every trace entry is one of the four Definition 1 kinds;
+//   - every received symbol fits in N bits.
+func FuzzDeletionInsertionTransmit(f *testing.F) {
+	f.Add(uint64(1), 4, 0.2, 0.1, 0.05, 100)
+	f.Add(uint64(7), 1, 0.0, 0.0, 0.0, 1)
+	f.Add(uint64(9), 16, 0.9, 0.05, 0.5, 50)
+	f.Add(uint64(3), 8, 0.0, 0.99, 0.0, 3)
+	f.Fuzz(func(t *testing.T, seed uint64, n int, pd, pi, ps float64, msgLen int) {
+		params := Params{N: n, Pd: pd, Pi: pi, Ps: ps}
+		if params.Validate() != nil {
+			t.Skip("invalid params are NewDeletionInsertion's error path")
+		}
+		if msgLen < 0 || msgLen > 4096 {
+			t.Skip("message length out of fuzz range")
+		}
+		// Expected uses per consumed symbol is 1/(1-Pi); cap the
+		// expected total work so a near-1 insertion rate cannot stall
+		// the fuzzer (Pi == 1 itself is rejected by Validate).
+		if float64(msgLen) > 1e6*(1-pi) {
+			t.Skip("expected trace length too large")
+		}
+		ch, err := NewDeletionInsertion(params, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := make([]uint32, msgLen)
+		src := rng.New(seed + 1)
+		for i := range msg {
+			msg[i] = src.Symbol(n)
+		}
+		received, trace := ch.Transmit(msg)
+
+		var consuming, delivered, deletions int
+		for _, k := range trace {
+			switch k {
+			case EventTransmit, EventSubstitute:
+				consuming++
+				delivered++
+			case EventDelete:
+				consuming++
+				deletions++
+			case EventInsert:
+				delivered++
+			default:
+				t.Fatalf("trace contains unknown event kind %d", k)
+			}
+		}
+		if consuming != len(msg) {
+			t.Errorf("consuming events = %d, want len(input) = %d", consuming, len(msg))
+		}
+		if delivered != len(received) {
+			t.Errorf("non-delete events = %d, want len(received) = %d", delivered, len(received))
+		}
+		if len(trace) != deletions+len(received) {
+			t.Errorf("len(trace) = %d, want deletions %d + received %d",
+				len(trace), deletions, len(received))
+		}
+		limit := uint32(1) << uint(n)
+		for i, sym := range received {
+			if sym >= limit {
+				t.Errorf("received[%d] = %d exceeds %d-bit alphabet", i, sym, n)
+			}
+		}
+	})
+}
+
+// TestValidateRejectsPiOne pins the termination guard: Pi = 1 (with
+// Pd = 0) would make Transmit insert forever without consuming input.
+func TestValidateRejectsPiOne(t *testing.T) {
+	if err := (Params{N: 4, Pi: 1}).Validate(); err == nil {
+		t.Fatal("Validate accepted Pi = 1, which makes Transmit non-terminating")
+	}
+}

@@ -231,8 +231,8 @@ func TestAllRunsEveryExperiment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 12 {
-		t.Fatalf("got %d tables, want 12", len(tables))
+	if len(tables) != 13 {
+		t.Fatalf("got %d tables, want 13", len(tables))
 	}
 	ids := map[string]bool{}
 	for _, tab := range tables {
@@ -241,7 +241,7 @@ func TestAllRunsEveryExperiment(t *testing.T) {
 			t.Errorf("%s has no rows", tab.ID)
 		}
 	}
-	for i := 1; i <= 12; i++ {
+	for i := 1; i <= 13; i++ {
 		if !ids["E"+strconv.Itoa(i)] {
 			t.Errorf("missing experiment E%d", i)
 		}

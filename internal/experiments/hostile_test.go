@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// hostileConfig keeps E13 runs short enough for `go test` while long
+// enough that the outage-gate's finite-sample variance cannot mask the
+// expected degradation (each cell sees hundreds of outage windows).
+func hostileConfig() Config {
+	return Config{Symbols: 6000, Seed: 7}
+}
+
+// TestE13ParallelMatchesSerial pins the acceptance criterion that the
+// E13 table is byte-identical for -jobs 1 and -jobs 8 at a fixed seed:
+// every cell draws only from its own derived stream, so worker
+// scheduling cannot perturb it.
+func TestE13ParallelMatchesSerial(t *testing.T) {
+	var outs [2][]byte
+	for i, jobs := range []int{1, 8} {
+		results, err := Run(context.Background(), hostileConfig(), Registry(),
+			RunOptions{Jobs: jobs, Only: []string{"E13"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs[i] = formatAll(t, results)
+	}
+	if !bytes.Equal(outs[0], outs[1]) {
+		t.Fatalf("E13 differs between -jobs 1 and -jobs 8:\n--- jobs 1 ---\n%s\n--- jobs 8 ---\n%s",
+			outs[0], outs[1])
+	}
+}
+
+// TestE13OutageDegradesEveryProtocol is the headline robustness
+// guarantee: under a 20% outage fraction every supervised protocol
+// completes with Degraded status and a strictly positive achieved rate
+// — graceful degradation, never a wedge, a failure, or a silent lie
+// about the rate.
+func TestE13OutageDegradesEveryProtocol(t *testing.T) {
+	tab, err := E13HostileRegimes(hostileConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column layout: proto, regime, status, attempts, retries, resyncs,
+	// rate(b/use), vs-clean.
+	protos := map[string]bool{}
+	for _, row := range tab.Rows {
+		proto, regime, status, rate := row[0], row[1], row[2], row[6]
+		if regime != "outage=0.2" {
+			continue
+		}
+		protos[proto] = true
+		if status != "degraded" {
+			t.Errorf("%s under outage=0.2: status %q, want degraded", proto, status)
+		}
+		if rate == "0.0000" || strings.HasPrefix(rate, "-") {
+			t.Errorf("%s under outage=0.2: rate %s, want strictly positive", proto, rate)
+		}
+	}
+	for _, want := range []string{"naive", "arq", "delayedarq", "counter", "event"} {
+		if !protos[want] {
+			t.Errorf("E13 has no outage=0.2 row for protocol %s", want)
+		}
+	}
+}
+
+// TestE13RatesFallWithOutage checks the degradation curve's shape.
+// Adjacent outage levels can invert at short message lengths (each cell
+// is an independent finite-sample estimate), so the assertions compare
+// well-separated points: every outage rate sits strictly below the
+// clean calibration, and the heaviest outage (0.4) below the lightest
+// (0.1).
+func TestE13RatesFallWithOutage(t *testing.T) {
+	tab, err := E13HostileRegimes(hostileConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := map[string]map[string]string{}
+	for _, row := range tab.Rows {
+		proto, regime, rate := row[0], row[1], row[6]
+		if rates[proto] == nil {
+			rates[proto] = map[string]string{}
+		}
+		rates[proto][regime] = rate
+	}
+	for proto, byRegime := range rates {
+		clean := byRegime["clean"]
+		if clean == "" {
+			t.Fatalf("%s missing clean calibration row", proto)
+		}
+		// Rates are fixed-width %.4f strings, so string comparison is
+		// numeric comparison for the magnitudes involved.
+		for _, regime := range []string{"outage=0.1", "outage=0.2", "outage=0.4"} {
+			r := byRegime[regime]
+			if r == "" {
+				t.Fatalf("%s missing regime %s", proto, regime)
+			}
+			if !(r < clean) {
+				t.Errorf("%s rate under %s = %s, want below clean %s", proto, regime, r, clean)
+			}
+		}
+		if !(byRegime["outage=0.4"] < byRegime["outage=0.1"]) {
+			t.Errorf("%s: outage=0.4 rate %s not below outage=0.1 rate %s",
+				proto, byRegime["outage=0.4"], byRegime["outage=0.1"])
+		}
+	}
+}
+
+// TestE13CustomInjectRegime verifies Config.Inject adds a custom regime
+// row per protocol and rejects malformed specs.
+func TestE13CustomInjectRegime(t *testing.T) {
+	cfg := hostileConfig()
+	cfg.Inject = "outage=0.1;jam=0.1"
+	tab, err := E13HostileRegimes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	custom := 0
+	for _, row := range tab.Rows {
+		if row[1] == "custom:outage=0.1;jam=0.1" {
+			custom++
+			if row[2] == "failed" || strings.HasPrefix(row[2], "error") {
+				t.Errorf("%s custom regime status %q, want ok/degraded", row[0], row[2])
+			}
+		}
+	}
+	if custom != 5 {
+		t.Errorf("custom regime rows = %d, want 5 (one per protocol)", custom)
+	}
+
+	cfg.Inject = "outage=2.0"
+	if _, err := E13HostileRegimes(cfg); err == nil {
+		t.Error("E13 accepted an out-of-range inject spec")
+	}
+}

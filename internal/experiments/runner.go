@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -44,6 +45,7 @@ func Registry() []Experiment {
 		{ID: "E10", Index: 10, Title: "related-work baselines corrected", Run: E10Baselines},
 		{ID: "E11", Index: 11, Title: "deletion-channel information rates", Run: E11DeletionRates},
 		{ID: "E12", Index: 12, Title: "timing channel countermeasures", Run: E12TimingChannel},
+		{ID: "E13", Index: 13, Title: "hostile regimes: supervised degradation", Run: E13HostileRegimes},
 	}
 }
 
@@ -84,6 +86,10 @@ type Result struct {
 	Table Table
 	// Err is the experiment error, a recovered panic, or a timeout.
 	Err error
+	// Retried reports that the first attempt died in a recovered panic
+	// and the experiment was re-run (successfully or not) on its retry
+	// stream.
+	Retried bool
 	// Wall is the experiment's wall-clock duration.
 	Wall time.Duration
 	// Uses echoes Table.Uses: channel uses simulated.
@@ -166,11 +172,25 @@ func Run(ctx context.Context, cfg Config, exps []Experiment, opts RunOptions) ([
 	return results, nil
 }
 
-// runOne executes a single experiment with panic recovery and an
-// optional deadline.
+// panicError marks an error produced by recovering an experiment
+// panic, so the retry logic can tell crashes from ordinary failures.
+type panicError struct{ err error }
+
+func (p panicError) Error() string { return p.err.Error() }
+func (p panicError) Unwrap() error { return p.err }
+
+// retrySeedBit offsets an experiment's index onto its disjoint retry
+// stream: a crashed first attempt is re-run with fresh (but still
+// seed-derived, hence reproducible) randomness, since replaying the
+// identical stream would deterministically crash again.
+const retrySeedBit = uint64(1) << 63
+
+// runOne executes a single experiment with panic recovery, an optional
+// deadline, and one bounded retry when the first attempt dies in a
+// panic. Timeouts and ordinary errors are not retried: a timeout has
+// already consumed its budget, and an error return is a deliberate
+// verdict rather than a crash.
 func runOne(ctx context.Context, cfg Config, e Experiment, timeout time.Duration) Result {
-	ecfg := cfg
-	ecfg.Seed = rng.Stream(cfg.Seed, e.Index)
 	res := Result{Experiment: e}
 	if timeout > 0 {
 		var cancel context.CancelFunc
@@ -181,23 +201,36 @@ func runOne(ctx context.Context, cfg Config, e Experiment, timeout time.Duration
 		table Table
 		err   error
 	}
-	done := make(chan outcome, 1)
-	start := time.Now()
-	go func() {
-		defer func() {
-			if r := recover(); r != nil {
-				done <- outcome{err: fmt.Errorf("%s: panic: %v\n%s", e.ID, r, debug.Stack())}
-			}
+	attempt := func(seedIndex uint64) outcome {
+		ecfg := cfg
+		ecfg.Seed = rng.Stream(cfg.Seed, seedIndex)
+		done := make(chan outcome, 1)
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					done <- outcome{err: panicError{fmt.Errorf("%s: panic: %v\n%s", e.ID, r, debug.Stack())}}
+				}
+			}()
+			t, err := e.Run(ecfg)
+			done <- outcome{table: t, err: err}
 		}()
-		t, err := e.Run(ecfg)
-		done <- outcome{table: t, err: err}
-	}()
-	select {
-	case o := <-done:
-		res.Table, res.Err = o.table, o.err
-	case <-ctx.Done():
-		res.Err = fmt.Errorf("%s: %w", e.ID, ctx.Err())
+		select {
+		case o := <-done:
+			return o
+		case <-ctx.Done():
+			return outcome{err: fmt.Errorf("%s: %w", e.ID, ctx.Err())}
+		}
 	}
+	start := time.Now()
+	o := attempt(e.Index)
+	var pe panicError
+	if o.err != nil && errors.As(o.err, &pe) && ctx.Err() == nil {
+		res.Retried = true
+		if retried := attempt(e.Index | retrySeedBit); retried.err == nil {
+			o = retried
+		}
+	}
+	res.Table, res.Err = o.table, o.err
 	res.Wall = time.Since(start)
 	if res.Err == nil {
 		res.Uses = res.Table.Uses
@@ -238,6 +271,9 @@ func Summary(results []Result) Table {
 	var uses int64
 	for _, r := range results {
 		status := "ok"
+		if r.Retried {
+			status = "ok(retried)"
+		}
 		if r.Err != nil {
 			status = "error: " + firstLine(r.Err.Error())
 		}

@@ -5,6 +5,8 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -96,6 +98,87 @@ func TestRunnerRecoversPanics(t *testing.T) {
 	}
 	if _, err := Tables(results); err == nil {
 		t.Error("Tables must surface the panic error")
+	}
+}
+
+// TestRunnerRetriesPanicOnce: a crash on the first attempt is retried
+// exactly once on the experiment's disjoint retry stream; a successful
+// retry yields a clean table with Retried set.
+func TestRunnerRetriesPanicOnce(t *testing.T) {
+	var calls atomic.Int32
+	var seeds []uint64
+	var mu sync.Mutex
+	exps := []Experiment{
+		{ID: "FLAKY", Index: 906, Title: "panics once then succeeds", Run: func(cfg Config) (Table, error) {
+			mu.Lock()
+			seeds = append(seeds, cfg.Seed)
+			mu.Unlock()
+			if calls.Add(1) == 1 {
+				panic("first attempt crash")
+			}
+			return Table{ID: "FLAKY", Header: []string{"x"}, Rows: [][]string{{"1"}}}, nil
+		}},
+	}
+	results, err := Run(context.Background(), runnerConfig(), exps, RunOptions{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil {
+		t.Fatalf("retry did not rescue the flaky experiment: %v", results[0].Err)
+	}
+	if !results[0].Retried {
+		t.Error("Retried flag not set after a panic-then-success run")
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("experiment ran %d times, want 2 (attempt + one retry)", got)
+	}
+	if len(seeds) == 2 && seeds[0] == seeds[1] {
+		t.Error("retry replayed the identical seed stream; it would crash deterministically again")
+	}
+}
+
+// TestRunnerRetryExhausted: an experiment that panics on both attempts
+// surfaces the original panic error, still marked Retried.
+func TestRunnerRetryExhausted(t *testing.T) {
+	var calls atomic.Int32
+	exps := []Experiment{
+		{ID: "DOOMED", Index: 907, Title: "always panics", Run: func(Config) (Table, error) {
+			calls.Add(1)
+			panic("unrecoverable")
+		}},
+	}
+	results, err := Run(context.Background(), runnerConfig(), exps, RunOptions{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil || !strings.Contains(results[0].Err.Error(), "panic: unrecoverable") {
+		t.Errorf("want surfaced panic error, got %v", results[0].Err)
+	}
+	if !results[0].Retried {
+		t.Error("Retried flag not set on an exhausted retry")
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("experiment ran %d times, want exactly 2 (no unbounded retrying)", got)
+	}
+}
+
+// TestRunnerDoesNotRetryOrdinaryErrors: an error return is a verdict,
+// not a crash, so it must not trigger the retry path.
+func TestRunnerDoesNotRetryOrdinaryErrors(t *testing.T) {
+	var calls atomic.Int32
+	exps := []Experiment{
+		{ID: "ERR", Index: 908, Title: "fails deliberately", Run: func(Config) (Table, error) {
+			calls.Add(1)
+			return Table{}, errors.New("deliberate verdict")
+		}},
+	}
+	results, err := Run(context.Background(), runnerConfig(), exps, RunOptions{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Retried || calls.Load() != 1 {
+		t.Errorf("ordinary error retried (runs=%d, Retried=%v), want single attempt",
+			calls.Load(), results[0].Retried)
 	}
 }
 

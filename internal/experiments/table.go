@@ -116,6 +116,12 @@ type Config struct {
 	Quanta int
 	// Seed drives all randomness (default 1).
 	Seed uint64
+	// Inject is an optional fault-injection spec in the
+	// faultinject.ParseSpec grammar (e.g. "outage=0.2;jam=0.1"). When
+	// set, experiment E13 evaluates every supervised protocol under
+	// this custom regime in addition to its built-in sweeps. Other
+	// experiments ignore it.
+	Inject string
 }
 
 // withDefaults fills unset fields.

@@ -1,0 +1,64 @@
+package faultinject
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/rng"
+)
+
+// OutageConfig describes total-loss windows: while a window is open
+// the channel behaves as if Pd = 1, deleting every queued symbol
+// without consulting the wrapped channel.
+type OutageConfig struct {
+	// Fraction is the long-run fraction of uses spent in outage,
+	// in [0, 1).
+	Fraction float64
+	// MeanLength is the mean outage window length in uses (>= 1).
+	// Zero selects the default of 50 uses.
+	MeanLength float64
+}
+
+// withDefaults fills unset fields.
+func (c OutageConfig) withDefaults() OutageConfig {
+	if c.MeanLength == 0 {
+		c.MeanLength = 50
+	}
+	return c
+}
+
+// Outage is the total-loss fault layer.
+type Outage struct {
+	inner    UseChannel
+	gate     *gate
+	injected int64
+}
+
+// NewOutage wraps inner with outage windows drawn from src.
+func NewOutage(inner UseChannel, cfg OutageConfig, src *rng.Source) (*Outage, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("faultinject: nil inner channel")
+	}
+	cfg = cfg.withDefaults()
+	g, err := newGate(cfg.Fraction, cfg.MeanLength, src)
+	if err != nil {
+		return nil, fmt.Errorf("faultinject: outage: %w", err)
+	}
+	return &Outage{inner: inner, gate: g}, nil
+}
+
+// Use deletes the queued symbol during an outage window and defers to
+// the wrapped channel otherwise.
+func (o *Outage) Use(queued uint32) channel.Use {
+	if o.gate.step() {
+		o.injected++
+		return channel.Use{Kind: channel.EventDelete, Consumed: true}
+	}
+	return o.inner.Use(queued)
+}
+
+// Injected returns the number of forced deletions.
+func (o *Outage) Injected() int64 { return o.injected }
+
+// Name identifies the layer.
+func (o *Outage) Name() string { return "outage" }

@@ -1,0 +1,93 @@
+package faultinject
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+)
+
+// Phase is one slot in a regime schedule.
+type Phase struct {
+	// Name labels the phase in diagnostics.
+	Name string
+	// Uses is the phase duration in channel uses (> 0).
+	Uses int
+	// Layer is the channel active during the phase — typically a fault
+	// layer wrapping the schedule's clean channel. A nil Layer selects
+	// the clean channel itself.
+	Layer UseChannel
+}
+
+// Schedule sequences fault regimes on a fixed per-use timetable: phase
+// 0 for its configured number of uses, then phase 1, and so on. With
+// Cycle the timetable repeats forever; without it the channel stays
+// clean after the last phase. Layer state (drift walks, open windows)
+// persists across revisits, so a schedule is still a pure function of
+// the sources its layers were built from.
+type Schedule struct {
+	clean    UseChannel
+	phases   []Phase
+	cycle    bool
+	idx      int   // current phase; len(phases) = past the end (no cycle)
+	remain   int   // uses left in the current phase
+	injected int64 // uses served by a fault layer
+}
+
+// NewSchedule builds the sequencer over the clean channel.
+func NewSchedule(clean UseChannel, phases []Phase, cycle bool) (*Schedule, error) {
+	if clean == nil {
+		return nil, fmt.Errorf("faultinject: nil clean channel")
+	}
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("faultinject: schedule needs at least one phase")
+	}
+	for i, p := range phases {
+		if p.Uses <= 0 {
+			return nil, fmt.Errorf("faultinject: schedule phase %d (%q) duration %d, want > 0", i, p.Name, p.Uses)
+		}
+	}
+	return &Schedule{clean: clean, phases: phases, cycle: cycle, remain: phases[0].Uses}, nil
+}
+
+// Use serves the use from the current phase's layer and advances the
+// timetable.
+func (s *Schedule) Use(queued uint32) channel.Use {
+	ch := s.clean
+	if s.idx < len(s.phases) {
+		if l := s.phases[s.idx].Layer; l != nil {
+			ch = l
+			s.injected++
+		}
+	}
+	u := ch.Use(queued)
+	if s.idx < len(s.phases) {
+		if s.remain--; s.remain == 0 {
+			s.idx++
+			if s.idx == len(s.phases) && s.cycle {
+				s.idx = 0
+			}
+			if s.idx < len(s.phases) {
+				s.remain = s.phases[s.idx].Uses
+			}
+		}
+	}
+	return u
+}
+
+// PhaseName returns the label of the phase the next use falls in
+// ("clean" past the end of a non-cycling schedule).
+func (s *Schedule) PhaseName() string {
+	if s.idx >= len(s.phases) {
+		return "clean"
+	}
+	if n := s.phases[s.idx].Name; n != "" {
+		return n
+	}
+	return fmt.Sprintf("phase%d", s.idx)
+}
+
+// Injected returns the number of uses served by a fault layer.
+func (s *Schedule) Injected() int64 { return s.injected }
+
+// Name identifies the layer.
+func (s *Schedule) Name() string { return "schedule" }

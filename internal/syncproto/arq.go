@@ -11,7 +11,8 @@ import (
 // sender resends until acknowledged, so no drop-outs ever reach the
 // application and the erasure-channel capacity N*(1-Pd) is achieved.
 type ARQ struct {
-	ch *channel.DeletionInsertion
+	ch UseChannel
+	n  int
 }
 
 // NewARQ returns the protocol bound to a deletion channel. The paper's
@@ -29,16 +30,32 @@ func NewARQ(ch *channel.DeletionInsertion) (*ARQ, error) {
 	if p.Ps != 0 {
 		return nil, fmt.Errorf("syncproto: ARQ analysis assumes a noiseless data channel, got Ps = %v", p.Ps)
 	}
-	return &ARQ{ch: ch}, nil
+	return &ARQ{ch: ch, n: p.N}, nil
+}
+
+// NewARQOver returns the protocol over any per-use channel with n-bit
+// symbols. Unlike NewARQ it cannot verify the Theorem 3 preconditions
+// (a fault-injected channel may impose insertions or substitutions at
+// runtime); the protocol stays safe regardless — any event other than
+// a clean transmission of the queued symbol triggers a resend, and
+// inserted symbols are discarded by the idealized feedback — but the
+// analytic rate N(1-Pd) only applies when the preconditions hold.
+func NewARQOver(ch UseChannel, n int) (*ARQ, error) {
+	if ch == nil {
+		return nil, fmt.Errorf("syncproto: nil channel")
+	}
+	if n < 1 || n > 16 {
+		return nil, fmt.Errorf("syncproto: symbol width %d out of [1,16]", n)
+	}
+	return &ARQ{ch: ch, n: n}, nil
 }
 
 // Run transmits the message and returns the run accounting. Every
 // message symbol is delivered exactly once, in order, without error;
 // the cost appears as extra channel uses for resends.
 func (a *ARQ) Run(msg []uint32) (Result, error) {
-	p := a.ch.Params()
-	if !validSymbols(msg, p.N) {
-		return Result{}, fmt.Errorf("syncproto: message contains symbols outside the %d-bit alphabet", p.N)
+	if !validSymbols(msg, a.n) {
+		return Result{}, fmt.Errorf("syncproto: message contains symbols outside the %d-bit alphabet", a.n)
 	}
 	res := Result{MessageSymbols: len(msg)}
 	received := make([]uint32, 0, len(msg))
@@ -51,10 +68,13 @@ func (a *ARQ) Run(msg []uint32) (Result, error) {
 				received = append(received, u.Delivered)
 				break
 			}
-			// EventDelete: feedback says not received; resend.
+			// Deletion: feedback says not received; resend. Insertion
+			// or substitution (possible only over a hostile wrapped
+			// channel): feedback flags the stray symbol, the receiver
+			// discards it, and the sender resends.
 		}
 	}
-	if err := measureSlots(&res, msg, received, p.N); err != nil {
+	if err := measureSlots(&res, msg, received, a.n); err != nil {
 		return Result{}, err
 	}
 	return res, nil

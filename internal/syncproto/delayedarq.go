@@ -15,7 +15,9 @@ import (
 // uses, so the achieved rate is N(1-Pd)/(1+Delay) — the inherent
 // (1-Pd) factor times the mechanism's own 1/(1+Delay) factor.
 type DelayedARQ struct {
-	ch    *channel.DeletionInsertion
+	ch    UseChannel
+	n     int
+	pd    float64
 	delay int
 }
 
@@ -36,16 +38,35 @@ func NewDelayedARQ(ch *channel.DeletionInsertion, delay int) (*DelayedARQ, error
 	if delay < 0 {
 		return nil, fmt.Errorf("syncproto: negative feedback delay %d", delay)
 	}
-	return &DelayedARQ{ch: ch, delay: delay}, nil
+	return &DelayedARQ{ch: ch, n: p.N, pd: p.Pd, delay: delay}, nil
+}
+
+// NewDelayedARQOver returns the protocol over any per-use channel with
+// n-bit symbols, with the same caveats as NewARQOver. nominalPd is the
+// deletion probability PredictedRate assumes; a hostile wrapped
+// channel may deviate from it at runtime.
+func NewDelayedARQOver(ch UseChannel, n int, nominalPd float64, delay int) (*DelayedARQ, error) {
+	if ch == nil {
+		return nil, fmt.Errorf("syncproto: nil channel")
+	}
+	if n < 1 || n > 16 {
+		return nil, fmt.Errorf("syncproto: symbol width %d out of [1,16]", n)
+	}
+	if nominalPd < 0 || nominalPd >= 1 {
+		return nil, fmt.Errorf("syncproto: nominal Pd %v out of [0,1)", nominalPd)
+	}
+	if delay < 0 {
+		return nil, fmt.Errorf("syncproto: negative feedback delay %d", delay)
+	}
+	return &DelayedARQ{ch: ch, n: n, pd: nominalPd, delay: delay}, nil
 }
 
 // Run transmits the message. Every message symbol is delivered exactly
 // once and error-free; the feedback latency shows up as idle channel
 // uses.
 func (a *DelayedARQ) Run(msg []uint32) (Result, error) {
-	p := a.ch.Params()
-	if !validSymbols(msg, p.N) {
-		return Result{}, fmt.Errorf("syncproto: message contains symbols outside the %d-bit alphabet", p.N)
+	if !validSymbols(msg, a.n) {
+		return Result{}, fmt.Errorf("syncproto: message contains symbols outside the %d-bit alphabet", a.n)
 	}
 	res := Result{MessageSymbols: len(msg)}
 	received := make([]uint32, 0, len(msg))
@@ -64,14 +85,14 @@ func (a *DelayedARQ) Run(msg []uint32) (Result, error) {
 			}
 		}
 	}
-	if err := measureSlots(&res, msg, received, p.N); err != nil {
+	if err := measureSlots(&res, msg, received, a.n); err != nil {
 		return Result{}, err
 	}
 	return res, nil
 }
 
-// PredictedRate returns the analytic rate N(1-Pd)/(1+Delay).
+// PredictedRate returns the analytic rate N(1-Pd)/(1+Delay) at the
+// channel's nominal deletion probability.
 func (a *DelayedARQ) PredictedRate() float64 {
-	p := a.ch.Params()
-	return float64(p.N) * (1 - p.Pd) / float64(1+a.delay)
+	return float64(a.n) * (1 - a.pd) / float64(1+a.delay)
 }

@@ -63,6 +63,42 @@ func TestDelayedARQMatchesPrediction(t *testing.T) {
 	}
 }
 
+// TestDelayedARQSoakPredictionAccuracy is the long-run version of the
+// prediction check: at 100k symbols per cell the finite-sample noise is
+// small enough that a systematic accounting bug anywhere in the
+// (1+Delay)-use bookkeeping — not just bad luck — is what a >5%
+// deviation from N(1-Pd)/(1+Delay) would mean. Skipped under -short.
+func TestDelayedARQSoakPredictionAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test: ~1M simulated uses per cell")
+	}
+	const symbols = 100000
+	for _, pd := range []float64{0.1, 0.3} {
+		p := channel.Params{N: 4, Pd: pd}
+		for _, delay := range []int{0, 1, 2, 4, 8} {
+			msg := randomMessage(uint64(31+delay), symbols, 4)
+			a, err := NewDelayedARQ(mustChannel(t, p, uint64(17+delay)), delay)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := a.Run(msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := a.PredictedRate()
+			got := res.InfoRatePerUse()
+			if dev := math.Abs(got-want) / want; dev > 0.05 {
+				t.Errorf("pd %.1f delay %d: measured %.4f vs predicted %.4f (%.1f%% off, want <= 5%%)",
+					pd, delay, got, want, 100*dev)
+			}
+			if res.SymbolErrors != 0 {
+				t.Errorf("pd %.1f delay %d: %d symbol errors, ARQ must be error-free",
+					pd, delay, res.SymbolErrors)
+			}
+		}
+	}
+}
+
 func TestDelayedARQRateDecreasesWithDelay(t *testing.T) {
 	p := channel.Params{N: 4, Pd: 0.1}
 	msg := randomMessage(6, 5000, 4)

@@ -15,7 +15,8 @@ import (
 // message grows — quantifying why non-synchronous channels cannot be
 // treated as synchronous ones.
 type Naive struct {
-	ch *channel.DeletionInsertion
+	ch UseChannel
+	n  int
 }
 
 // NewNaive returns the protocol bound to a deletion–insertion channel.
@@ -23,7 +24,19 @@ func NewNaive(ch *channel.DeletionInsertion) (*Naive, error) {
 	if ch == nil {
 		return nil, fmt.Errorf("syncproto: nil channel")
 	}
-	return &Naive{ch: ch}, nil
+	return &Naive{ch: ch, n: ch.Params().N}, nil
+}
+
+// NewNaiveOver returns the protocol over any per-use channel with
+// n-bit symbols (for example a fault-injected stack).
+func NewNaiveOver(ch UseChannel, n int) (*Naive, error) {
+	if ch == nil {
+		return nil, fmt.Errorf("syncproto: nil channel")
+	}
+	if n < 1 || n > 16 {
+		return nil, fmt.Errorf("syncproto: symbol width %d out of [1,16]", n)
+	}
+	return &Naive{ch: ch, n: n}, nil
 }
 
 // Run transmits the message once, with the receiver reading slots
@@ -31,11 +44,10 @@ func NewNaive(ch *channel.DeletionInsertion) (*Naive, error) {
 // positional counterpart; alignment-based deletion/insertion counts go
 // to SkippedSymbols via the edit-distance trace for diagnostics.
 func (p *Naive) Run(msg []uint32) (Result, error) {
-	params := p.ch.Params()
-	if !validSymbols(msg, params.N) {
-		return Result{}, fmt.Errorf("syncproto: message contains symbols outside the %d-bit alphabet", params.N)
+	if !validSymbols(msg, p.n) {
+		return Result{}, fmt.Errorf("syncproto: message contains symbols outside the %d-bit alphabet", p.n)
 	}
-	received, trace := p.ch.Transmit(msg)
+	received, trace := transmitOver(p.ch, msg)
 	res := Result{
 		MessageSymbols: len(msg),
 		Uses:           len(trace),
@@ -50,11 +62,34 @@ func (p *Naive) Run(msg []uint32) (Result, error) {
 	if len(overlap) > len(msg) {
 		overlap = overlap[:len(msg)]
 	}
-	if err := measureSlots(&res, msg, overlap, params.N); err != nil {
+	if err := measureSlots(&res, msg, overlap, p.n); err != nil {
 		return Result{}, err
 	}
 	// Diagnostics: how much of the damage is pure misalignment.
 	counts := stats.Align(msg, received)
 	res.SkippedSymbols = counts.Deletions + counts.Insertions
 	return res, nil
+}
+
+// transmitOver pushes the whole input through a per-use channel,
+// mirroring channel.DeletionInsertion.Transmit: the channel is used
+// until every input symbol has been consumed, with insertions
+// interleaved per Definition 1.
+func transmitOver(ch UseChannel, input []uint32) (received []uint32, trace []channel.EventKind) {
+	received = make([]uint32, 0, len(input))
+	trace = make([]channel.EventKind, 0, len(input)+4)
+	for i := 0; i < len(input); {
+		u := ch.Use(input[i])
+		trace = append(trace, u.Kind)
+		switch u.Kind {
+		case channel.EventDelete:
+			i++
+		case channel.EventInsert:
+			received = append(received, u.Delivered)
+		default:
+			received = append(received, u.Delivered)
+			i++
+		}
+	}
+	return received, trace
 }
