@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race race-hostile fuzz-smoke bench-smoke bench
+.PHONY: ci fmt vet build test race race-hostile fuzz-smoke bench-smoke serve-smoke bench
 
-ci: fmt vet build test race race-hostile fuzz-smoke bench-smoke
+ci: fmt vet build test race race-hostile fuzz-smoke bench-smoke serve-smoke
 
 # gofmt -l prints offending files; fail if it prints anything.
 fmt:
@@ -45,6 +45,11 @@ fuzz-smoke:
 # test that the benchmark harness itself still runs.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkAll(Serial|Parallel)$$' -benchtime 1x .
+
+# Serving gate: boot a capserver in-process on an ephemeral port, hit
+# every endpoint, assert 200 + well-formed JSON, shut down cleanly.
+serve-smoke:
+	$(GO) run ./cmd/capload -selfhost -mode smoke
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .

@@ -1,0 +1,92 @@
+// Command capserverd serves the repository's capacity-estimation
+// kernels over HTTP (see internal/capserver and DESIGN.md §8):
+// /v1/bounds, /v1/predict, /v1/simulate, /v1/experiments, plus
+// /healthz, /metrics and /debug/pprof.
+//
+// Usage:
+//
+//	capserverd -addr 127.0.0.1:8080
+//	capserverd -addr 127.0.0.1:0 -workers 8 -queue 128 -cache 4096
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
+// in-flight requests complete (bounded by -drain), and every admitted
+// computation finishes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/capserver"
+)
+
+// onListen, when non-nil, observes the bound address (tests hook it to
+// learn the ephemeral port).
+var onListen func(net.Addr)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "capserverd:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until ctx is canceled, then shuts down gracefully.
+func run(ctx context.Context, args []string, logw *os.File) error {
+	fs := flag.NewFlagSet("capserverd", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+		workers = fs.Int("workers", 0, "compute workers (0 = GOMAXPROCS)")
+		queue   = fs.Int("queue", 64, "compute queue depth (full queue => 429)")
+		cache   = fs.Int("cache", 1024, "LRU result cache entries")
+		timeout = fs.Duration("timeout", 30*time.Second, "per-request deadline")
+		drain   = fs.Duration("drain", 30*time.Second, "graceful shutdown budget")
+		maxSym  = fs.Int("max-symbols", 200000, "largest simulate/experiment message length served")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv := capserver.New(capserver.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cache,
+		RequestTimeout: *timeout,
+		MaxSymbols:     *maxSym,
+	})
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(logw, "capserverd: listening on http://%s\n", l.Addr())
+	if onListen != nil {
+		onListen(l.Addr())
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(logw, "capserverd: shutting down (draining up to %v)\n", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

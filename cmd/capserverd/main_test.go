@@ -1,0 +1,74 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestServeAndGracefulShutdown boots the daemon on an ephemeral port,
+// verifies it serves, then cancels the run context and asserts a clean
+// drain — the end-to-end shape of a SIGTERM.
+func TestServeAndGracefulShutdown(t *testing.T) {
+	addrCh := make(chan net.Addr, 1)
+	onListen = func(a net.Addr) { addrCh <- a }
+	defer func() { onListen = nil }()
+
+	logf, err := os.CreateTemp(t.TempDir(), "capserverd-log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer logf.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "2", "-drain", "10s"}, logf)
+	}()
+
+	var addr net.Addr
+	select {
+	case addr = <-addrCh:
+	case err := <-runErr:
+		t.Fatalf("run exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for the listener")
+	}
+
+	resp, err := http.Get("http://" + addr.String() + "/v1/bounds?n=4&pd=0.2")
+	if err != nil {
+		t.Fatalf("GET bounds: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || !json.Valid(body) {
+		t.Fatalf("bounds: status %d, err %v, body %s", resp.StatusCode, err, body)
+	}
+
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run returned %v after cancel, want nil", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not return after context cancel")
+	}
+	if _, err := net.DialTimeout("tcp", addr.String(), time.Second); err == nil {
+		t.Error("listener still accepting after shutdown")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"-addr"}, os.Stderr); err == nil {
+		t.Error("dangling -addr accepted")
+	}
+	if err := run(context.Background(), []string{"-addr", "256.0.0.1:99999"}, os.Stderr); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+}

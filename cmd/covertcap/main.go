@@ -9,15 +9,23 @@
 //	covertcap -n 4 -pd 0.2 -pi 0.1            # one parameter point
 //	covertcap -n 4 -sweep-pd 0,0.1,0.2,0.3    # sweep deletions
 //	covertcap -sync-capacity 100 -pd 0.25     # degrade a traditional estimate
+//	covertcap -n 4 -pd 0.2 -json              # machine-readable output
+//
+// -json emits the same wire schema the capserverd /v1/bounds endpoint
+// serves (capserver.BoundsJSON / capserver.DegradeJSON), so scripted
+// consumers can switch between the CLI and the service without
+// re-parsing.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
+	"repro/internal/capserver"
 	"repro/internal/channel"
 	"repro/internal/core"
 )
@@ -40,15 +48,22 @@ func run(args []string) error {
 		sweepPi = fs.String("sweep-pi", "", "comma-separated Pi values to sweep")
 		syncCap = fs.Float64("sync-capacity", -1, "traditional synchronous estimate to degrade (Section 4.4)")
 		format  = fs.String("format", "table", "output format: table | csv")
+		jsonOut = fs.Bool("json", false, "emit JSON (the capserverd /v1/bounds wire schema)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *jsonOut && *format != "table" {
+		return fmt.Errorf("-json and -format are mutually exclusive")
 	}
 
 	if *syncCap >= 0 {
 		corrected, err := core.Degrade(*syncCap, *pd)
 		if err != nil {
 			return err
+		}
+		if *jsonOut {
+			return emitJSON(capserver.DegradeJSON{TraditionalEstimate: *syncCap, Pd: *pd, Corrected: corrected})
 		}
 		fmt.Printf("traditional estimate: %.6g\n", *syncCap)
 		fmt.Printf("corrected C(1-Pd):    %.6g  (Pd = %g)\n", corrected, *pd)
@@ -62,6 +77,20 @@ func run(args []string) error {
 	pis, err := parseSweep(*sweepPi, *pi)
 	if err != nil {
 		return fmt.Errorf("sweep-pi: %w", err)
+	}
+
+	if *jsonOut {
+		var points []capserver.BoundsJSON
+		for _, dpd := range pds {
+			for _, dpi := range pis {
+				b, err := core.ComputeBounds(channel.Params{N: *n, Pd: dpd, Pi: dpi, Ps: *ps})
+				if err != nil {
+					return err
+				}
+				points = append(points, capserver.FromBounds(b))
+			}
+		}
+		return emitJSON(points)
 	}
 
 	csv := false
@@ -89,6 +118,16 @@ func run(args []string) error {
 			}
 		}
 	}
+	return nil
+}
+
+// emitJSON renders v as indented JSON on stdout.
+func emitJSON(v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
 	return nil
 }
 

@@ -1,10 +1,18 @@
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/capserver"
 )
+
+// -update regenerates the golden files instead of comparing.
+var update = flag.Bool("update", false, "rewrite golden files")
 
 // capture runs fn with os.Stdout redirected and returns what it wrote.
 func capture(t *testing.T, fn func() error) (string, error) {
@@ -74,6 +82,61 @@ func TestRunCSV(t *testing.T) {
 	}
 	if !strings.Contains(out, "4,0.2,0,3.2") {
 		t.Fatalf("missing CSV row:\n%s", out)
+	}
+}
+
+// TestRunJSONGolden locks the machine-readable output byte-for-byte:
+// it is the capserverd /v1/bounds wire schema and scripted consumers
+// depend on it staying stable.
+func TestRunJSONGolden(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-n", "4", "-sweep-pd", "0,0.25", "-pi", "0.1", "-json"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "bounds.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(want) {
+		t.Errorf("JSON output drifted from golden (run with -update to accept):\ngot:\n%s\nwant:\n%s", out, want)
+	}
+	// The output must round-trip through the shared wire type.
+	var points []capserver.BoundsJSON
+	if err := json.Unmarshal([]byte(out), &points); err != nil {
+		t.Fatalf("output does not decode as []capserver.BoundsJSON: %v", err)
+	}
+	if len(points) != 2 || points[0].N != 4 || points[1].Pd != 0.25 {
+		t.Errorf("decoded points = %+v", points)
+	}
+}
+
+func TestRunJSONDegrade(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-sync-capacity", "100", "-pd", "0.25", "-json"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d capserver.DegradeJSON
+	if err := json.Unmarshal([]byte(out), &d); err != nil {
+		t.Fatalf("output does not decode as capserver.DegradeJSON: %v\n%s", err, out)
+	}
+	if d.Corrected != 75 || d.TraditionalEstimate != 100 || d.Pd != 0.25 {
+		t.Errorf("degrade JSON = %+v", d)
+	}
+}
+
+func TestRunJSONFormatConflict(t *testing.T) {
+	if _, err := capture(t, func() error { return run([]string{"-json", "-format", "csv"}) }); err == nil {
+		t.Fatal("-json with -format csv accepted")
 	}
 }
 

@@ -1,0 +1,99 @@
+package capserver
+
+import (
+	"container/list"
+	"sync"
+)
+
+// flight is one in-flight computation. body and err are written
+// exactly once, before done is closed; waiters read them only after
+// <-done, which provides the happens-before edge.
+type flight struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// cacheEntry is one completed result in the LRU list.
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// CacheStats is a point-in-time snapshot of the result cache.
+type CacheStats struct {
+	// Entries is the number of completed results currently cached.
+	Entries int
+	// Evictions counts results dropped by the LRU bound.
+	Evictions int64
+	// Inflight is the number of computations currently deduplicating
+	// concurrent identical requests.
+	Inflight int
+}
+
+// flightCache is an LRU result cache with singleflight-style
+// deduplication: the first request for a key becomes the leader and
+// computes; concurrent identical requests join the leader's flight and
+// share its result without recomputing.
+type flightCache struct {
+	mu        sync.Mutex
+	cap       int
+	lru       *list.List // of *cacheEntry, front = most recent
+	idx       map[string]*list.Element
+	inflight  map[string]*flight
+	evictions int64
+}
+
+// newFlightCache builds a cache bounded to capEntries results.
+func newFlightCache(capEntries int) *flightCache {
+	return &flightCache{
+		cap:      capEntries,
+		lru:      list.New(),
+		idx:      make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// lookupOrJoin resolves key in one critical section: a cached body
+// (hit), an existing flight to wait on (shared), or a fresh flight the
+// caller must lead (leader == true). Exactly one of the three holds.
+func (c *flightCache) lookupOrJoin(key string) (body []byte, fl *flight, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[key]; ok {
+		c.lru.MoveToFront(el)
+		return el.Value.(*cacheEntry).body, nil, false
+	}
+	if fl, ok := c.inflight[key]; ok {
+		return nil, fl, false
+	}
+	fl = &flight{done: make(chan struct{})}
+	c.inflight[key] = fl
+	return nil, fl, true
+}
+
+// finish completes a flight: it publishes the result to every waiter
+// and, on success, installs it in the LRU (evicting beyond capacity).
+func (c *flightCache) finish(key string, fl *flight, body []byte, err error) {
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if err == nil {
+		c.idx[key] = c.lru.PushFront(&cacheEntry{key: key, body: body})
+		for c.lru.Len() > c.cap {
+			oldest := c.lru.Back()
+			c.lru.Remove(oldest)
+			delete(c.idx, oldest.Value.(*cacheEntry).key)
+			c.evictions++
+		}
+	}
+	c.mu.Unlock()
+	fl.body, fl.err = body, err
+	close(fl.done)
+}
+
+// stats snapshots the cache occupancy.
+func (c *flightCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Entries: c.lru.Len(), Evictions: c.evictions, Inflight: len(c.inflight)}
+}

@@ -1,0 +1,274 @@
+// Package capserver exposes the repository's capacity-estimation
+// kernels as a production-shaped HTTP service (DESIGN.md §8):
+//
+//   - GET /v1/bounds       analytic deletion–insertion capacity bounds
+//     (package core), optional exact/Monte-Carlo deletion-channel rates
+//     (package delcap) and Blahut–Arimoto cross-checks (infotheory);
+//   - GET /v1/predict      analytic protocol rate prediction
+//     (syncproto, including DelayedARQ.PredictedRate);
+//   - GET /v1/simulate     seeded, fault-injected supervised protocol
+//     runs (channel + faultinject + syncproto.Supervisor);
+//   - GET /v1/experiments  the named experiments registry (catalog and
+//     seeded runs);
+//   - GET /healthz, /metrics, /debug/pprof/ for operations.
+//
+// Every response body is a pure function of the request parameters:
+// computations are deterministic in their inputs (seeds are explicit
+// request parameters, wall-clock never leaks into a body), which is
+// what makes the serving core cacheable. The core is:
+//
+//	request -> validate -> canonical key -> LRU cache
+//	        -> singleflight (concurrent identical requests compute once)
+//	        -> bounded worker pool (full queue => 429 + Retry-After)
+//	        -> response cached, byte-identical for every later hit
+//
+// Per-request deadlines bound the wait, not the work: a request that
+// times out returns 504 while its computation (if already admitted)
+// completes and populates the cache for the next caller. Shutdown
+// stops accepting connections, drains in-flight handlers, then drains
+// the worker pool.
+package capserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// Config tunes the serving core. The zero value selects workable
+// defaults.
+type Config struct {
+	// Workers is the number of compute workers (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the compute queue; a submission finding the
+	// queue full is rejected with 429 (default 64).
+	QueueDepth int
+	// CacheEntries bounds the LRU result cache (default 1024).
+	CacheEntries int
+	// RequestTimeout bounds how long a request waits for its result
+	// (default 30s). The deadline bounds the wait, not the work: an
+	// admitted computation keeps running and populates the cache.
+	RequestTimeout time.Duration
+	// RetryAfter is the Retry-After hint attached to 429 responses,
+	// rounded up to whole seconds (default 1s).
+	RetryAfter time.Duration
+	// MaxSymbols caps the message length a /v1/simulate or
+	// /v1/experiments request may ask for (default 200000).
+	MaxSymbols int
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 1024
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxSymbols <= 0 {
+		c.MaxSymbols = 200000
+	}
+	return c
+}
+
+// Server is the capacity-estimation service.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	httpSrv *http.Server
+	pool    *workerPool
+	cache   *flightCache
+	metrics *Metrics
+}
+
+// New builds a Server with the given configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		pool:    newWorkerPool(cfg.Workers, cfg.QueueDepth),
+		cache:   newFlightCache(cfg.CacheEntries),
+		metrics: newMetrics(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/bounds", s.handleCompute("bounds", s.buildBounds))
+	s.mux.HandleFunc("GET /v1/predict", s.handleCompute("predict", s.buildPredict))
+	s.mux.HandleFunc("GET /v1/simulate", s.handleCompute("simulate", s.buildSimulate))
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	s.httpSrv = &http.Server{Handler: s.mux}
+	return s
+}
+
+// Handler returns the service's HTTP handler, for mounting under
+// httptest or an outer mux.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the server's live metrics, for tests and embedding.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Serve accepts connections on l until Shutdown. It returns
+// http.ErrServerClosed after a clean shutdown, like net/http.
+func (s *Server) Serve(l net.Listener) error { return s.httpSrv.Serve(l) }
+
+// Shutdown gracefully stops the server: it stops accepting new
+// connections, waits (up to ctx) for in-flight handlers to complete,
+// then drains and stops the worker pool so every admitted computation
+// finishes before Shutdown returns.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.httpSrv.Shutdown(ctx)
+	// By now no handler can submit new work; drain what was admitted.
+	s.pool.close()
+	return err
+}
+
+// errQueueFull is the backpressure verdict: the compute queue is full
+// and the request was not admitted.
+var errQueueFull = errors.New("capserver: compute queue full, retry later")
+
+// buildFunc validates one endpoint's query parameters and returns the
+// request's canonical cache key plus the deferred computation that
+// produces the JSON response body. Validation errors are client errors
+// (400); compute errors are internal (500).
+type buildFunc func(q queryValues) (key string, compute func() ([]byte, error), err error)
+
+// handleCompute is the shared serving path: validate, consult the
+// cache, deduplicate in-flight identical requests, run on the worker
+// pool with backpressure, respond.
+func (s *Server) handleCompute(endpoint string, build buildFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		key, compute, err := build(queryValues{r.URL.Query()})
+		if err != nil {
+			s.finish(w, endpoint, start, http.StatusBadRequest, errorBody(err), "")
+			return
+		}
+		ctx := r.Context()
+		if s.cfg.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+			defer cancel()
+		}
+		body, source, err := s.do(ctx, endpoint, endpoint+"?"+key, compute)
+		switch {
+		case err == nil:
+			s.finish(w, endpoint, start, http.StatusOK, body, source)
+		case errors.Is(err, errQueueFull):
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+			s.finish(w, endpoint, start, http.StatusTooManyRequests, errorBody(err), "")
+		case errors.Is(err, context.DeadlineExceeded):
+			s.finish(w, endpoint, start, http.StatusGatewayTimeout, errorBody(err), "")
+		case errors.Is(err, context.Canceled):
+			// The client went away; 499 (nginx convention) keeps the
+			// metrics honest even though nobody reads the response.
+			s.finish(w, endpoint, start, 499, errorBody(err), "")
+		default:
+			s.finish(w, endpoint, start, http.StatusInternalServerError, errorBody(err), "")
+		}
+	}
+}
+
+// do resolves one computation: cache hit, joining an in-flight
+// identical computation, or leading a new one through the worker pool.
+// source is "hit", "shared" or "miss" respectively.
+func (s *Server) do(ctx context.Context, endpoint, key string, compute func() ([]byte, error)) (body []byte, source string, err error) {
+	cached, fl, leader := s.cache.lookupOrJoin(key)
+	if cached != nil {
+		s.metrics.cacheHit()
+		return cached, "hit", nil
+	}
+	if leader {
+		s.metrics.cacheMiss()
+		job := func() {
+			defer func() {
+				if r := recover(); r != nil {
+					s.metrics.computePanic()
+					s.cache.finish(key, fl, nil, fmt.Errorf("capserver: %s compute panic: %v", endpoint, r))
+				}
+			}()
+			s.metrics.computeStart(endpoint)
+			b, cerr := compute()
+			s.cache.finish(key, fl, b, cerr)
+		}
+		if !s.pool.trySubmit(job) {
+			s.metrics.queueRejected()
+			s.cache.finish(key, fl, nil, errQueueFull)
+		}
+	} else {
+		s.metrics.cacheShared()
+	}
+	select {
+	case <-fl.done:
+		if leader {
+			source = "miss"
+		} else {
+			source = "shared"
+		}
+		return fl.body, source, fl.err
+	case <-ctx.Done():
+		return nil, "", ctx.Err()
+	}
+}
+
+// finish writes the response and records the request's metrics.
+func (s *Server) finish(w http.ResponseWriter, endpoint string, start time.Time, status int, body []byte, source string) {
+	if source != "" {
+		w.Header().Set("X-Capserver-Cache", source)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+	s.metrics.observe(endpoint, status, time.Since(start))
+}
+
+// handleHealthz reports liveness.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.finish(w, "healthz", time.Now(), http.StatusOK, []byte(`{"status":"ok"}`+"\n"), "")
+}
+
+// handleMetrics renders the counters, gauges and latency quantiles.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.metrics.write(w, s.cache.stats(), s.pool.depth())
+}
+
+// errorBody renders an error as the service's JSON error envelope.
+func errorBody(err error) []byte {
+	b, merr := marshalBody(struct {
+		Error string `json:"error"`
+	}{Error: err.Error()})
+	if merr != nil {
+		return []byte(`{"error":"internal error"}` + "\n")
+	}
+	return b
+}
+
+// retryAfterSeconds rounds d up to whole seconds, minimum 1.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -192,6 +194,12 @@ const retrySeedBit = uint64(1) << 63
 // verdict rather than a crash.
 func runOne(ctx context.Context, cfg Config, e Experiment, timeout time.Duration) Result {
 	res := Result{Experiment: e}
+	// A batch canceled before this experiment started must not burn an
+	// attempt (or a retry) on it: fail fast with the context verdict.
+	if err := ctx.Err(); err != nil {
+		res.Err = fmt.Errorf("%s: %w", e.ID, err)
+		return res
+	}
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
@@ -254,10 +262,39 @@ func Tables(results []Result) ([]Table, error) {
 	return tables, nil
 }
 
+// idLess orders experiment IDs naturally: alphabetic prefix first,
+// then numeric suffix by value, so E2 sorts before E10 (plain string
+// comparison would interleave them).
+func idLess(a, b string) bool {
+	split := func(id string) (string, int) {
+		i := 0
+		for i < len(id) && (id[i] < '0' || id[i] > '9') {
+			i++
+		}
+		num, err := strconv.Atoi(id[i:])
+		if err != nil {
+			return id, 0
+		}
+		return id[:i], num
+	}
+	ap, an := split(a)
+	bp, bn := split(b)
+	if ap != bp {
+		return ap < bp
+	}
+	if an != bn {
+		return an < bn
+	}
+	return a < b
+}
+
 // Summary renders the batch's observability as a table: per experiment
-// wall time, channel uses simulated, and simulation throughput. Wall
-// times vary run to run, so callers should keep the summary out of any
-// output meant to be reproducible (cmd/experiments sends it to stderr).
+// wall time, channel uses simulated, and simulation throughput. Rows
+// are sorted by experiment ID (natural order: A1..A5 before E1, E2
+// before E10) regardless of the order results were produced in, so the
+// summary shape is deterministic. Wall times vary run to run, so
+// callers should keep the summary out of any output meant to be
+// reproducible (cmd/experiments sends it to stderr).
 func Summary(results []Result) Table {
 	t := Table{
 		ID:     "RUN",
@@ -267,9 +304,13 @@ func Summary(results []Result) Table {
 			"uses counts simulated channel uses (bits or quanta where applicable); 0 = analytic",
 		},
 	}
+	ordered := append([]Result(nil), results...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return idLess(ordered[i].Experiment.ID, ordered[j].Experiment.ID)
+	})
 	var wall time.Duration
 	var uses int64
-	for _, r := range results {
+	for _, r := range ordered {
 		status := "ok"
 		if r.Retried {
 			status = "ok(retried)"

@@ -262,6 +262,106 @@ func TestSummaryTable(t *testing.T) {
 	}
 }
 
+// TestSummaryRowsSortedByID locks the summary's row order: natural
+// experiment-ID order (A-block before E-block, E2 before E10) with the
+// total row last, no matter what order the results arrive in.
+func TestSummaryRowsSortedByID(t *testing.T) {
+	mk := func(id string) Result {
+		return Result{Experiment: Experiment{ID: id}}
+	}
+	// Deliberately scrambled, with the E10-vs-E2 lexicographic trap.
+	results := []Result{mk("E10"), mk("A2"), mk("E2"), mk("E1"), mk("A1")}
+	rows := Summary(results).Rows
+	var ids []string
+	for _, row := range rows {
+		ids = append(ids, row[0])
+	}
+	want := []string{"A1", "A2", "E1", "E2", "E10", "total"}
+	if len(ids) != len(want) {
+		t.Fatalf("summary rows %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("summary row order %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestIDLess(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"E2", "E10", true},
+		{"E10", "E2", false},
+		{"A5", "E1", true},
+		{"E1", "E1", false},
+		{"RUN", "E1", false}, // non-numeric IDs order by string
+	}
+	for _, c := range cases {
+		if got := idLess(c.a, c.b); got != c.want {
+			t.Errorf("idLess(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestRunPreCanceledContext: a batch handed an already-canceled context
+// must not start any experiment — each result fails fast with the
+// context verdict and no attempt (let alone a retry) runs.
+func TestRunPreCanceledContext(t *testing.T) {
+	var calls atomic.Int32
+	exps := []Experiment{
+		{ID: "NEVER", Index: 909, Title: "must not run", Run: func(Config) (Table, error) {
+			calls.Add(1)
+			return Table{ID: "NEVER"}, nil
+		}},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := Run(ctx, runnerConfig(), exps, RunOptions{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(results[0].Err, context.Canceled) {
+		t.Errorf("result error = %v, want context.Canceled", results[0].Err)
+	}
+	if results[0].Retried {
+		t.Error("Retried set on a pre-canceled batch")
+	}
+	if got := calls.Load(); got != 0 {
+		t.Errorf("experiment ran %d times under a pre-canceled context, want 0", got)
+	}
+}
+
+// TestRunnerNoRetryAfterCancel: a panic whose batch was canceled
+// mid-attempt is not retried — cancellation between the initial attempt
+// and the panic-retry wins.
+func TestRunnerNoRetryAfterCancel(t *testing.T) {
+	var calls atomic.Int32
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	exps := []Experiment{
+		{ID: "CRASH", Index: 910, Title: "cancels then panics", Run: func(Config) (Table, error) {
+			calls.Add(1)
+			cancel() // the batch dies while this attempt is in flight
+			panic("crash during canceled batch")
+		}},
+	}
+	results, err := Run(ctx, runnerConfig(), exps, RunOptions{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("experiment ran %d times, want 1 (no retry after cancel)", got)
+	}
+	if results[0].Retried {
+		t.Error("Retried set despite the context being canceled before the retry")
+	}
+	if results[0].Err == nil {
+		t.Error("canceled crashed attempt reported no error")
+	}
+}
+
 // TestExperimentsReportUses ensures the simulation-heavy experiments
 // register their work metric, so the summary's uses/sec is meaningful.
 func TestExperimentsReportUses(t *testing.T) {
