@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race race-hostile fuzz-smoke bench-smoke serve-smoke bench
+.PHONY: ci fmt vet build test race race-hostile race-obs fuzz-smoke bench-smoke serve-smoke trace-smoke bench
 
-ci: fmt vet build test race race-hostile fuzz-smoke bench-smoke serve-smoke
+ci: fmt vet build test race race-hostile race-obs fuzz-smoke bench-smoke serve-smoke trace-smoke
 
 # gofmt -l prints offending files; fail if it prints anything.
 fmt:
@@ -34,6 +34,12 @@ race:
 race-hostile:
 	$(GO) test -race ./internal/faultinject/... ./internal/syncproto/...
 
+# Focused race pass over the observability layer and its biggest
+# consumer: the registry and tracer are the shared mutable state every
+# other package writes through.
+race-obs:
+	$(GO) test -race ./internal/obs/... ./internal/capserver/...
+
 # 30 seconds per native fuzz target: the Definition 1 trace invariants
 # and the fault-spec grammar. Regressions the unit corpus misses show
 # up here first.
@@ -50,6 +56,17 @@ bench-smoke:
 # every endpoint, assert 200 + well-formed JSON, shut down cleanly.
 serve-smoke:
 	$(GO) run ./cmd/capload -selfhost -mode smoke
+
+# Observability gate: record a seeded channel-use trace with chansim,
+# re-estimate (Pd, Pi, Ps) from it with tracecap, and assert the
+# trace-driven estimate agrees with the simulated parameters.
+trace-smoke:
+	@tmp="$$(mktemp -d)"; trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/chansim -proto counter -n 4 -pd 0.1 -pi 0.05 -ps 0.02 \
+		-symbols 20000 -seed 7 -trace "$$tmp/run.jsonl" >/dev/null && \
+	$(GO) run ./cmd/tracecap -n 4 -pd 0.1 -pi 0.05 -ps 0.02 "$$tmp/run.jsonl" \
+		| tee "$$tmp/analysis.txt" && \
+	grep -q "agrees with the assumed point" "$$tmp/analysis.txt"
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .

@@ -9,6 +9,7 @@
 //	chansim -proto syncvar -n 4 -psender 0.5
 //	chansim -proto event   -n 4 -miss 0.2
 //	chansim -proto counter -n 4 -pd 0.1 -inject "outage=0.2;jam=0.1"
+//	chansim -proto counter -n 4 -pd 0.1 -trace run.jsonl
 //
 // With -inject the channel is wrapped in the given fault-injection
 // stack and the protocol runs under syncproto.Supervisor (per-attempt
@@ -16,16 +17,26 @@
 // a supervision block. Injection applies to the channel-backed
 // protocols (arq, counter, naive, delayed); syncvar and event have no
 // channel to inject into.
+//
+// Observability: -trace records every channel use (and, with -inject,
+// the supervision state machine) as a JSONL trace — a pure function of
+// the seed, so reruns are byte-identical; analyze it with tracecap.
+// The report then also prints the observed (Pd, Pi, Ps) estimate with
+// Wilson 95% intervals next to the assumed parameters. -metrics writes
+// run counters in Prometheus text format; -pprof captures CPU and heap
+// profiles.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/channel"
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/syncproto"
 )
@@ -37,19 +48,95 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+// obsSink bundles the optional observability outputs of one run.
+type obsSink struct {
+	tracer    *obs.Tracer
+	traceFile *os.File
+	rec       *obs.ChannelRecorder
+	reg       *obs.Registry
+	metrics   string // exposition output path; "" = disabled
+	proto     string
+	start     time.Time
+}
+
+// attach wraps or observes the run's channel so its uses are recorded.
+// For channels driven directly by a protocol constructor the observer
+// hook is installed; the injected path wraps explicitly instead.
+func (s *obsSink) attach(ch *channel.DeletionInsertion) error {
+	if s == nil || (s.tracer == nil && s.metrics == "") {
+		return nil
+	}
+	rec, err := obs.NewChannelRecorder(ch, s.tracer, nil)
+	if err != nil {
+		return err
+	}
+	s.rec = rec
+	ch.SetObserver(rec.Observe)
+	return nil
+}
+
+// close flushes the trace, writes the metrics exposition and reports
+// the observed-parameter block.
+func (s *obsSink) close() error {
+	if s == nil {
+		return nil
+	}
+	if s.rec != nil && s.rec.Uses() > 0 {
+		est := s.rec.Estimate()
+		c := s.rec.Counts()
+		fmt.Printf("observed uses:       %d (T %d, S %d, D %d, I %d, injected %d)\n",
+			est.Uses, c.Transmits, c.Substitutes, c.Deletes, c.Inserts, c.Injected)
+		fmt.Printf("observed Pd:         %.4f [%.4f, %.4f]\n", est.Pd, est.PdLo, est.PdHi)
+		fmt.Printf("observed Pi:         %.4f [%.4f, %.4f]\n", est.Pi, est.PiLo, est.PiHi)
+		fmt.Printf("observed Ps:         %.4f [%.4f, %.4f]\n", est.Ps, est.PsLo, est.PsHi)
+	}
+	if s.tracer != nil {
+		if err := s.tracer.Close(); err != nil {
+			s.traceFile.Close()
+			return err
+		}
+		if err := s.traceFile.Close(); err != nil {
+			return err
+		}
+	}
+	if s.metrics != "" {
+		if s.rec != nil {
+			c := s.rec.Counts()
+			kinds := s.reg.CounterVec("chansim_uses_total", "kind")
+			kinds.With("transmit").Add(c.Transmits)
+			kinds.With("substitute").Add(c.Substitutes)
+			kinds.With("delete").Add(c.Deletes)
+			kinds.With("insert").Add(c.Inserts)
+			s.reg.Counter("chansim_injected_total").Add(c.Injected)
+		}
+		s.reg.LatencyVec("chansim_run_ms", "proto").Observe(s.proto, time.Since(s.start))
+		f, err := os.Create(s.metrics)
+		if err != nil {
+			return err
+		}
+		s.reg.WriteProm(f)
+		return f.Close()
+	}
+	return nil
+}
+
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("chansim", flag.ContinueOnError)
 	var (
-		proto   = fs.String("proto", "counter", "protocol: arq | counter | syncvar | event | naive | delayed")
-		n       = fs.Int("n", 4, "bits per symbol")
-		pd      = fs.Float64("pd", 0.2, "deletion probability")
-		pi      = fs.Float64("pi", 0, "insertion probability")
-		psender = fs.Float64("psender", 0.5, "sender activation probability (syncvar)")
-		miss    = fs.Float64("miss", 0.2, "per-tick miss probability (event)")
-		delay   = fs.Int("delay", 1, "feedback latency in channel uses (delayed)")
-		symbols = fs.Int("symbols", 50000, "message length in symbols")
-		seed    = fs.Uint64("seed", 1, "random seed")
-		inject  = fs.String("inject", "", "fault-injection spec, e.g. 'outage=0.2;jam=0.1'; runs the protocol supervised")
+		proto      = fs.String("proto", "counter", "protocol: arq | counter | syncvar | event | naive | delayed")
+		n          = fs.Int("n", 4, "bits per symbol")
+		pd         = fs.Float64("pd", 0.2, "deletion probability")
+		pi         = fs.Float64("pi", 0, "insertion probability")
+		ps         = fs.Float64("ps", 0, "substitution probability of a transmitted symbol")
+		psender    = fs.Float64("psender", 0.5, "sender activation probability (syncvar)")
+		miss       = fs.Float64("miss", 0.2, "per-tick miss probability (event)")
+		delay      = fs.Int("delay", 1, "feedback latency in channel uses (delayed)")
+		symbols    = fs.Int("symbols", 50000, "message length in symbols")
+		seed       = fs.Uint64("seed", 1, "random seed")
+		inject     = fs.String("inject", "", "fault-injection spec, e.g. 'outage=0.2;jam=0.1'; runs the protocol supervised")
+		traceOut   = fs.String("trace", "", "write a JSONL channel-use trace to this file (analyze with tracecap)")
+		metricsOut = fs.String("metrics", "", "write run metrics (Prometheus text) to this file")
+		pprofDir   = fs.String("pprof", "", "write cpu.pprof and heap.pprof for this run into this directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,6 +147,29 @@ func run(args []string) error {
 	if *symbols < 1 {
 		return fmt.Errorf("message length %d, want >= 1", *symbols)
 	}
+	if *pprofDir != "" {
+		stop, perr := obs.StartProfiles(*pprofDir)
+		if perr != nil {
+			return perr
+		}
+		defer func() {
+			if e := stop(); e != nil && err == nil {
+				err = e
+			}
+		}()
+	}
+	sink := &obsSink{metrics: *metricsOut, proto: *proto, start: time.Now()}
+	if *metricsOut != "" {
+		sink.reg = obs.NewRegistry()
+	}
+	if *traceOut != "" {
+		f, cerr := os.Create(*traceOut)
+		if cerr != nil {
+			return cerr
+		}
+		sink.tracer = obs.NewTracer(f)
+		sink.traceFile = f
+	}
 
 	msg := make([]uint32, *symbols)
 	src := rng.New(*seed + 1)
@@ -68,35 +178,45 @@ func run(args []string) error {
 	}
 
 	if *inject != "" {
-		return runInjected(*proto, *n, *pd, *pi, *delay, *seed, *inject, msg)
+		if rerr := runInjected(*proto, *n, *pd, *pi, *delay, *seed, *inject, msg, sink); rerr != nil {
+			return rerr
+		}
+		return sink.close()
 	}
 
 	var (
 		res    syncproto.Result
-		err    error
-		params = channel.Params{N: *n, Pd: *pd, Pi: *pi}
+		params = channel.Params{N: *n, Pd: *pd, Pi: *pi, Ps: *ps}
 	)
+	// The ARQ analyses assume a deletion-only channel.
+	chParams := params
+	if *proto == "arq" || *proto == "delayed" {
+		chParams.Pi, chParams.Ps = 0, 0
+	}
 	switch *proto {
-	case "arq":
-		ch, cerr := channel.NewDeletionInsertion(channel.Params{N: *n, Pd: *pd}, rng.New(*seed))
+	case "arq", "counter", "naive", "delayed":
+		ch, cerr := channel.NewDeletionInsertion(chParams, rng.New(*seed))
 		if cerr != nil {
 			return cerr
 		}
-		arq, cerr := syncproto.NewARQ(ch)
+		if cerr := sink.attach(ch); cerr != nil {
+			return cerr
+		}
+		var p syncproto.Protocol
+		switch *proto {
+		case "arq":
+			p, cerr = syncproto.NewARQ(ch)
+		case "counter":
+			p, cerr = syncproto.NewCounter(ch)
+		case "naive":
+			p, cerr = syncproto.NewNaive(ch)
+		case "delayed":
+			p, cerr = syncproto.NewDelayedARQ(ch, *delay)
+		}
 		if cerr != nil {
 			return cerr
 		}
-		res, err = arq.Run(msg)
-	case "counter":
-		ch, cerr := channel.NewDeletionInsertion(params, rng.New(*seed))
-		if cerr != nil {
-			return cerr
-		}
-		counter, cerr := syncproto.NewCounter(ch)
-		if cerr != nil {
-			return cerr
-		}
-		res, err = counter.Run(msg)
+		res, err = p.Run(msg)
 	case "syncvar":
 		sv, cerr := syncproto.NewSyncVar(*n, *psender, rng.New(*seed))
 		if cerr != nil {
@@ -109,26 +229,6 @@ func run(args []string) error {
 			return cerr
 		}
 		res, err = ce.Run(msg)
-	case "naive":
-		ch, cerr := channel.NewDeletionInsertion(params, rng.New(*seed))
-		if cerr != nil {
-			return cerr
-		}
-		naive, cerr := syncproto.NewNaive(ch)
-		if cerr != nil {
-			return cerr
-		}
-		res, err = naive.Run(msg)
-	case "delayed":
-		ch, cerr := channel.NewDeletionInsertion(channel.Params{N: *n, Pd: *pd}, rng.New(*seed))
-		if cerr != nil {
-			return cerr
-		}
-		darq, cerr := syncproto.NewDelayedARQ(ch, *delay)
-		if cerr != nil {
-			return cerr
-		}
-		res, err = darq.Run(msg)
 	default:
 		return fmt.Errorf("unknown protocol %q (want arq, counter, syncvar, event, naive or delayed)", *proto)
 	}
@@ -153,14 +253,25 @@ func run(args []string) error {
 		}
 		fmt.Printf("Theorem 1/4 upper:   %.4f bits/use\n", b.Upper)
 		fmt.Printf("Theorem 5 lower:     %.4f (paper norm.), %.4f (per-use)\n", b.LowerT5, b.LowerPerUse)
+		if sink.rec != nil && sink.rec.Uses() > 0 {
+			est := sink.rec.Estimate()
+			obsParams := channel.Params{N: *n, Pd: est.Pd, Pi: est.Pi, Ps: est.Ps}
+			if obsParams.Validate() == nil {
+				if ob, oerr := core.ComputeBounds(obsParams); oerr == nil {
+					fmt.Printf("observed upper:      %.4f bits/use (bounds at the trace-estimated parameters)\n", ob.Upper)
+				}
+			}
+		}
 	}
-	return nil
+	return sink.close()
 }
 
 // runInjected runs a channel-backed protocol over a fault-injected
 // channel under supervision: base channel -> fault stack -> use meter,
-// with a Counter resync fallback and per-attempt use deadlines.
-func runInjected(proto string, n int, pd, pi float64, delay int, seed uint64, spec string, msg []uint32) error {
+// with a Counter resync fallback and per-attempt use deadlines. With
+// tracing enabled an obs.ChannelRecorder sits between the stack and
+// the meter and the supervisor emits its state machine to the tracer.
+func runInjected(proto string, n int, pd, pi float64, delay int, seed uint64, spec string, msg []uint32, sink *obsSink) error {
 	parsed, err := faultinject.ParseSpec(spec)
 	if err != nil {
 		return err
@@ -179,7 +290,16 @@ func runInjected(proto string, n int, pd, pi float64, delay int, seed uint64, sp
 	if err != nil {
 		return err
 	}
-	meter, err := syncproto.NewUseMeter(stack)
+	var metered syncproto.UseChannel = stack
+	if sink.tracer != nil || sink.metrics != "" {
+		rec, rerr := obs.NewChannelRecorder(stack, sink.tracer, stack.Injected)
+		if rerr != nil {
+			return rerr
+		}
+		sink.rec = rec
+		metered = rec
+	}
+	meter, err := syncproto.NewUseMeter(metered)
 	if err != nil {
 		return err
 	}
@@ -210,6 +330,7 @@ func runInjected(proto string, n int, pd, pi float64, delay int, seed uint64, sp
 		MaxAttempts:    4,
 		BackoffBase:    32,
 		ErrorThreshold: 0.25,
+		Tracer:         sink.tracer,
 	}
 	scfg.AttemptUses = 8 * scfg.ChunkSymbols
 	if proto == "delayed" {
@@ -223,6 +344,7 @@ func runInjected(proto string, n int, pd, pi float64, delay int, seed uint64, sp
 	if err != nil {
 		return err
 	}
+	stack.EmitSummary(sink.tracer)
 
 	fmt.Printf("protocol:            %s (supervised)\n", proto)
 	fmt.Printf("fault spec:          %s\n", parsed.String())

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // capture runs fn with os.Stdout redirected and returns what it wrote.
@@ -155,5 +158,124 @@ func TestRunDeterministic(t *testing.T) {
 	}
 	if a != b {
 		t.Fatal("same seed produced different output")
+	}
+}
+
+// TestRunObservabilityOutputs checks the -trace/-metrics/-pprof
+// surface on the plain path: the report gains an observed-parameter
+// block, the JSONL trace re-estimates the channel parameters within
+// its Wilson intervals, the metrics exposition carries the per-kind
+// use counters, and both profile files exist and are non-empty.
+func TestRunObservabilityOutputs(t *testing.T) {
+	dir := t.TempDir()
+	trace := dir + "/run.jsonl"
+	metrics := dir + "/run.prom"
+	out, err := capture(t, func() error {
+		return run([]string{"-proto", "counter", "-n", "4", "-pd", "0.1", "-pi", "0.05",
+			"-symbols", "20000", "-seed", "7",
+			"-trace", trace, "-metrics", metrics, "-pprof", dir})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"observed Pd:", "observed Pi:", "observed Ps:", "observed upper:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	tf, err := os.Open(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	sum, err := obs.ReadTrace(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := sum.Estimate()
+	if est.Uses == 0 {
+		t.Fatal("trace recorded no uses")
+	}
+	if !est.Contains(0.1, 0.05, 0) {
+		t.Errorf("assumed (0.1, 0.05, 0) outside trace CIs: %+v", est)
+	}
+	prom, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`chansim_uses_total{kind="transmit"}`, `chansim_run_ms_count{proto="counter"} 1`} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("metrics exposition missing %q:\n%s", want, prom)
+		}
+	}
+	for _, name := range []string{"cpu.pprof", "heap.pprof"} {
+		fi, err := os.Stat(dir + "/" + name)
+		if err != nil {
+			t.Errorf("profile %s: %v", name, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", name)
+		}
+	}
+}
+
+// TestRunInjectedTrace checks the supervised path's trace: the
+// recorder sits inside the fault stack, so injected overrides are
+// attributed, and the supervisor's state machine lands in the trace.
+func TestRunInjectedTrace(t *testing.T) {
+	dir := t.TempDir()
+	trace := dir + "/inj.jsonl"
+	out, err := capture(t, func() error {
+		return run([]string{"-proto", "counter", "-n", "4", "-pd", "0.05",
+			"-symbols", "5000", "-seed", "3", "-inject", "outage=0.3", "-trace", trace})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "observed Pd:") {
+		t.Fatalf("supervised report missing observed block:\n%s", out)
+	}
+	tf, err := os.Open(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	sum, err := obs.ReadTrace(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Injected == 0 {
+		t.Error("outage regime attributed no injected uses")
+	}
+	if sum.Chunks == 0 || sum.Attempts == 0 {
+		t.Errorf("supervision events missing from trace: %+v", sum)
+	}
+	if est := sum.Estimate(); est.Pd < 0.15 {
+		t.Errorf("observed Pd %.4f does not reflect the outage regime", est.Pd)
+	}
+}
+
+// TestRunTraceDeterministic checks a recorded trace is a pure
+// function of the flags and seed: two identical runs write
+// byte-identical JSONL files.
+func TestRunTraceDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	runTrace := func(name string) []byte {
+		path := dir + "/" + name
+		if _, err := capture(t, func() error {
+			return run([]string{"-proto", "counter", "-n", "4", "-pd", "0.1", "-pi", "0.05",
+				"-symbols", "3000", "-seed", "9", "-trace", path})
+		}); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if a, b := runTrace("a.jsonl"), runTrace("b.jsonl"); !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different traces")
 	}
 }

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // captureFD runs fn with *fd (os.Stdout or os.Stderr) redirected and
@@ -146,5 +149,77 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestRunFlagError(t *testing.T) {
 	if _, err := capture(t, func() error { return run([]string{"-garbage"}) }); err == nil {
 		t.Fatal("expected flag parse error")
+	}
+}
+
+// TestRunObservabilityOutputs checks the -trace/-metrics/-pprof
+// surface: the JSONL trace is written and analyzable, the metrics
+// exposition carries the per-experiment runner series, and both
+// profile files exist and are non-empty.
+func TestRunObservabilityOutputs(t *testing.T) {
+	dir := t.TempDir()
+	trace := dir + "/run.jsonl"
+	metrics := dir + "/run.prom"
+	_, err := capture(t, func() error {
+		return run(fastArgs("-only", "E5,E13", "-trace", trace, "-metrics", metrics, "-pprof", dir))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf, err := os.Open(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	sum, err := obs.ReadTrace(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Uses() == 0 || sum.Spans["ba"] == nil {
+		t.Errorf("trace missing channel uses or ba spans: %+v", sum)
+	}
+	prom, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`experiments_runs_total{id="E5"} 1`, `experiments_uses_total{id="E13"}`} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("metrics exposition missing %q:\n%s", want, prom)
+		}
+	}
+	for _, name := range []string{"cpu.pprof", "heap.pprof"} {
+		fi, err := os.Stat(dir + "/" + name)
+		if err != nil {
+			t.Errorf("profile %s: %v", name, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", name)
+		}
+	}
+}
+
+// TestRunTraceDeterministicAcrossJobs checks the recorded trace file
+// is byte-identical between -jobs 1 and -jobs 8: tracing must not
+// leak scheduling order into the reproducible outputs.
+func TestRunTraceDeterministicAcrossJobs(t *testing.T) {
+	dir := t.TempDir()
+	runTrace := func(jobs, name string) []byte {
+		path := dir + "/" + name
+		if _, err := capture(t, func() error {
+			return run(fastArgs("-only", "E13", "-jobs", jobs, "-trace", path))
+		}); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	serial := runTrace("1", "serial.jsonl")
+	parallel := runTrace("8", "parallel.jsonl")
+	if !bytes.Equal(serial, parallel) {
+		t.Fatal("-jobs 8 trace differs from -jobs 1 trace")
 	}
 }

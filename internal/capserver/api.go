@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 // BoundsJSON is the JSON rendering of core.Bounds. It is the shared
@@ -131,6 +132,79 @@ type SimulateResponse struct {
 	Resyncs           int     `json:"resyncs"`
 	Recoveries        int     `json:"recoveries"`
 	BackoffUses       int64   `json:"backoff_uses"`
+}
+
+// TraceEstimateJSON is the empirical Definition 1 estimate recovered
+// from a recorded trace: event tallies plus (Pd, Pi, Ps) with Wilson
+// 95% confidence intervals (obs.Estimate).
+type TraceEstimateJSON struct {
+	Uses        int64   `json:"uses"`
+	Transmits   int64   `json:"transmits"`
+	Substitutes int64   `json:"substitutes"`
+	Deletes     int64   `json:"deletes"`
+	Inserts     int64   `json:"inserts"`
+	Injected    int64   `json:"injected"`
+	Pd          float64 `json:"pd"`
+	PdLo        float64 `json:"pd_lo"`
+	PdHi        float64 `json:"pd_hi"`
+	Pi          float64 `json:"pi"`
+	PiLo        float64 `json:"pi_lo"`
+	PiHi        float64 `json:"pi_hi"`
+	Ps          float64 `json:"ps"`
+	PsLo        float64 `json:"ps_lo"`
+	PsHi        float64 `json:"ps_hi"`
+}
+
+// fromEstimate converts an obs.Estimate plus its event tallies into
+// the wire form.
+func fromEstimate(e obs.Estimate, c obs.UseCounts) TraceEstimateJSON {
+	return TraceEstimateJSON{
+		Uses: e.Uses, Transmits: c.Transmits, Substitutes: c.Substitutes,
+		Deletes: c.Deletes, Inserts: c.Inserts, Injected: c.Injected,
+		Pd: e.Pd, PdLo: e.PdLo, PdHi: e.PdHi,
+		Pi: e.Pi, PiLo: e.PiLo, PiHi: e.PiHi,
+		Ps: e.Ps, PsLo: e.PsLo, PsHi: e.PsHi,
+	}
+}
+
+// TraceResponse is the /v1/trace response body: one seeded supervised
+// run executed under tracing, summarized as assumed vs. observed
+// channel parameters and capacity bounds.
+type TraceResponse struct {
+	Proto   string  `json:"proto"`
+	N       int     `json:"n"`
+	Pd      float64 `json:"pd"`
+	Pi      float64 `json:"pi"`
+	Ps      float64 `json:"ps"`
+	Delay   int     `json:"delay,omitempty"`
+	Symbols int     `json:"symbols"`
+	Seed    uint64  `json:"seed"`
+	Inject  string  `json:"inject"`
+
+	Status         string  `json:"status"`
+	Events         int64   `json:"events"`
+	Uses           int     `json:"uses"`
+	InfoRatePerUse float64 `json:"info_rate_per_use"`
+
+	// Estimate is the trace-driven parameter estimate; AssumedAgrees
+	// reports whether the assumed (pd, pi, ps) fall inside its
+	// confidence intervals.
+	Estimate      TraceEstimateJSON `json:"estimate"`
+	AssumedAgrees bool              `json:"assumed_agrees"`
+	// Assumed holds the bounds at the requested parameters; Observed
+	// holds the bounds recomputed at the estimated parameters (omitted
+	// when fault injection pushes the empirical point outside the
+	// analytic domain).
+	Assumed  BoundsJSON  `json:"assumed_bounds"`
+	Observed *BoundsJSON `json:"observed_bounds,omitempty"`
+
+	Chunks       int64 `json:"chunks"`
+	Attempts     int64 `json:"attempts"`
+	Retries      int64 `json:"retries"`
+	Resyncs      int64 `json:"resyncs"`
+	Recoveries   int64 `json:"recoveries"`
+	FailedChunks int64 `json:"failed_chunks"`
+	BackoffUses  int64 `json:"backoff_uses"`
 }
 
 // ExperimentInfo is one registry entry in the /v1/experiments catalog.

@@ -8,6 +8,9 @@
 //     (syncproto, including DelayedARQ.PredictedRate);
 //   - GET /v1/simulate     seeded, fault-injected supervised protocol
 //     runs (channel + faultinject + syncproto.Supervisor);
+//   - GET /v1/trace        the same run executed under channel-use
+//     tracing, summarized as assumed vs. observed parameters and
+//     bounds (internal/obs trace analysis);
 //   - GET /v1/experiments  the named experiments registry (catalog and
 //     seeded runs);
 //   - GET /healthz, /metrics, /debug/pprof/ for operations.
@@ -39,6 +42,8 @@ import (
 	"runtime"
 	"strconv"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Config tunes the serving core. The zero value selects workable
@@ -61,6 +66,11 @@ type Config struct {
 	// MaxSymbols caps the message length a /v1/simulate or
 	// /v1/experiments request may ask for (default 200000).
 	MaxSymbols int
+	// Metrics, when non-nil, is the obs.Registry the server registers
+	// its metric families on, letting an embedding process expose one
+	// /metrics page for the service and its own instrumentation. Nil
+	// gets a private registry.
+	Metrics *obs.Registry
 }
 
 // withDefaults fills unset fields.
@@ -104,12 +114,13 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		pool:    newWorkerPool(cfg.Workers, cfg.QueueDepth),
 		cache:   newFlightCache(cfg.CacheEntries),
-		metrics: newMetrics(),
+		metrics: newMetrics(cfg.Metrics),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/bounds", s.handleCompute("bounds", s.buildBounds))
 	s.mux.HandleFunc("GET /v1/predict", s.handleCompute("predict", s.buildPredict))
 	s.mux.HandleFunc("GET /v1/simulate", s.handleCompute("simulate", s.buildSimulate))
+	s.mux.HandleFunc("GET /v1/trace", s.handleCompute("trace", s.buildTrace))
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)

@@ -1,195 +1,105 @@
 package capserver
 
 import (
-	"fmt"
 	"io"
-	"math"
-	"sort"
-	"sync"
+	"strconv"
 	"time"
 
-	"repro/internal/stats"
+	"repro/internal/obs"
 )
 
-// Latency histograms bin log10(milliseconds) over [10µs, 100s] — 0.1
-// decade per bin — so one fixed-size histogram resolves both
-// microsecond cache hits and multi-second cold computations.
-const (
-	latencyLogMin  = -2.0 // log10(ms): 10µs
-	latencyLogMax  = 5.0  // log10(ms): 100s
-	latencyLogBins = 70
-)
-
-// Metrics aggregates the serving core's observability: request and
-// status counts, compute executions (the cache-correctness witness:
-// deduplicated identical requests bump this once), cache and queue
-// events, and per-endpoint latency histograms backed by
-// stats.Histogram.
+// Metrics is the serving core's observability, backed by the shared
+// obs.Registry: request and status counts, compute executions (the
+// cache-correctness witness: deduplicated identical requests bump this
+// once), cache and queue events, and per-endpoint log-bucketed latency
+// histograms. Families register in the exposition order the service
+// has always used, so /metrics output is byte-identical to the
+// pre-registry implementation.
 type Metrics struct {
-	mu       sync.Mutex
-	requests map[string]map[int]int64
-	latency  map[string]*stats.Histogram
-	computes map[string]int64
-	hits     int64
-	misses   int64
-	shared   int64
-	rejected int64
-	panics   int64
+	reg      *obs.Registry
+	requests *obs.CounterVec
+	computes *obs.CounterVec
+	panics   *obs.Counter
+	hits     *obs.Counter
+	misses   *obs.Counter
+	shared   *obs.Counter
+	entries  *obs.Gauge
+	evicted  *obs.Gauge
+	inflight *obs.Gauge
+	depth    *obs.Gauge
+	rejected *obs.Counter
+	latency  *obs.LatencyVec
 }
 
-// newMetrics returns an empty metrics set.
-func newMetrics() *Metrics {
+// newMetrics registers the service's metric families on reg (a nil reg
+// gets a private registry). Registration order is exposition order.
+func newMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	return &Metrics{
-		requests: make(map[string]map[int]int64),
-		latency:  make(map[string]*stats.Histogram),
-		computes: make(map[string]int64),
+		reg:      reg,
+		requests: reg.CounterVec("capserver_requests_total", "endpoint", "code"),
+		computes: reg.CounterVec("capserver_compute_total", "endpoint"),
+		panics:   reg.Counter("capserver_compute_panics_total"),
+		hits:     reg.Counter("capserver_cache_hits_total"),
+		misses:   reg.Counter("capserver_cache_misses_total"),
+		shared:   reg.Counter("capserver_cache_shared_total"),
+		entries:  reg.Gauge("capserver_cache_entries"),
+		evicted:  reg.Gauge("capserver_cache_evictions_total"),
+		inflight: reg.Gauge("capserver_cache_inflight"),
+		depth:    reg.Gauge("capserver_queue_depth"),
+		rejected: reg.Counter("capserver_queue_rejected_total"),
+		latency:  reg.LatencyVec("capserver_latency_ms", "endpoint"),
 	}
 }
+
+// Registry returns the backing registry, so an embedding process can
+// expose the service's metrics alongside its own.
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
 
 // observe records one served request.
 func (m *Metrics) observe(endpoint string, status int, d time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	byStatus, ok := m.requests[endpoint]
-	if !ok {
-		byStatus = make(map[int]int64)
-		m.requests[endpoint] = byStatus
-	}
-	byStatus[status]++
-	h, ok := m.latency[endpoint]
-	if !ok {
-		// The range is static and valid, so the constructor cannot fail.
-		h, _ = stats.NewHistogram(latencyLogMin, latencyLogMax, latencyLogBins)
-		m.latency[endpoint] = h
-	}
-	ms := float64(d) / float64(time.Millisecond)
-	if ms <= 0 {
-		ms = math.SmallestNonzeroFloat64
-	}
-	h.Add(math.Log10(ms))
+	m.requests.With(endpoint, strconv.Itoa(status)).Inc()
+	m.latency.Observe(endpoint, d)
 }
 
 // computeStart records one underlying computation actually executing
 // for the endpoint (cache hits and deduplicated waiters do not count).
-func (m *Metrics) computeStart(endpoint string) {
-	m.mu.Lock()
-	m.computes[endpoint]++
-	m.mu.Unlock()
-}
+func (m *Metrics) computeStart(endpoint string) { m.computes.With(endpoint).Inc() }
 
 // ComputeCalls returns how many computations have executed for the
 // endpoint; the singleflight tests assert on it.
-func (m *Metrics) ComputeCalls(endpoint string) int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.computes[endpoint]
-}
+func (m *Metrics) ComputeCalls(endpoint string) int64 { return m.computes.Value(endpoint) }
 
 // Requests returns how many requests the endpoint has answered with
 // the given status.
 func (m *Metrics) Requests(endpoint string, status int) int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.requests[endpoint][status]
+	return m.requests.Value(endpoint, strconv.Itoa(status))
 }
 
-func (m *Metrics) cacheHit()      { m.mu.Lock(); m.hits++; m.mu.Unlock() }
-func (m *Metrics) cacheMiss()     { m.mu.Lock(); m.misses++; m.mu.Unlock() }
-func (m *Metrics) cacheShared()   { m.mu.Lock(); m.shared++; m.mu.Unlock() }
-func (m *Metrics) queueRejected() { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
-func (m *Metrics) computePanic()  { m.mu.Lock(); m.panics++; m.mu.Unlock() }
+func (m *Metrics) cacheHit()      { m.hits.Inc() }
+func (m *Metrics) cacheMiss()     { m.misses.Inc() }
+func (m *Metrics) cacheShared()   { m.shared.Inc() }
+func (m *Metrics) queueRejected() { m.rejected.Inc() }
+func (m *Metrics) computePanic()  { m.panics.Inc() }
 
 // CacheHits returns the number of requests served from the LRU cache.
-func (m *Metrics) CacheHits() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.hits
-}
+func (m *Metrics) CacheHits() int64 { return m.hits.Value() }
 
 // CacheShared returns the number of requests that joined an in-flight
 // identical computation instead of recomputing.
-func (m *Metrics) CacheShared() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.shared
-}
+func (m *Metrics) CacheShared() int64 { return m.shared.Value() }
 
 // QueueRejected returns the number of requests rejected with 429.
-func (m *Metrics) QueueRejected() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.rejected
-}
+func (m *Metrics) QueueRejected() int64 { return m.rejected.Value() }
 
-// quantileMS approximates the q-th latency quantile in milliseconds
-// from the log-binned histogram (upper bin edge, a conservative
-// estimate). It returns 0 when the histogram is empty.
-func quantileMS(h *stats.Histogram, q float64) float64 {
-	total := h.Total()
-	if total == 0 {
-		return 0
-	}
-	target := int(math.Ceil(q * float64(total)))
-	if target < 1 {
-		target = 1
-	}
-	cum := 0
-	counts := h.Counts()
-	width := (latencyLogMax - latencyLogMin) / float64(len(counts))
-	for i, c := range counts {
-		cum += c
-		if cum >= target {
-			return math.Pow(10, latencyLogMin+float64(i+1)*width)
-		}
-	}
-	return math.Pow(10, latencyLogMax)
-}
-
-// write renders the metrics in a flat, Prometheus-style text format
-// with deterministic line ordering.
+// write snapshots the cache and queue gauges, then renders the whole
+// registry in the deterministic Prometheus text format.
 func (m *Metrics) write(w io.Writer, cs CacheStats, queueDepth int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	endpoints := make([]string, 0, len(m.requests))
-	for ep := range m.requests {
-		endpoints = append(endpoints, ep)
-	}
-	sort.Strings(endpoints)
-	for _, ep := range endpoints {
-		codes := make([]int, 0, len(m.requests[ep]))
-		for code := range m.requests[ep] {
-			codes = append(codes, code)
-		}
-		sort.Ints(codes)
-		for _, code := range codes {
-			fmt.Fprintf(w, "capserver_requests_total{endpoint=%q,code=\"%d\"} %d\n", ep, code, m.requests[ep][code])
-		}
-	}
-	computeEPs := make([]string, 0, len(m.computes))
-	for ep := range m.computes {
-		computeEPs = append(computeEPs, ep)
-	}
-	sort.Strings(computeEPs)
-	for _, ep := range computeEPs {
-		fmt.Fprintf(w, "capserver_compute_total{endpoint=%q} %d\n", ep, m.computes[ep])
-	}
-	fmt.Fprintf(w, "capserver_compute_panics_total %d\n", m.panics)
-	fmt.Fprintf(w, "capserver_cache_hits_total %d\n", m.hits)
-	fmt.Fprintf(w, "capserver_cache_misses_total %d\n", m.misses)
-	fmt.Fprintf(w, "capserver_cache_shared_total %d\n", m.shared)
-	fmt.Fprintf(w, "capserver_cache_entries %d\n", cs.Entries)
-	fmt.Fprintf(w, "capserver_cache_evictions_total %d\n", cs.Evictions)
-	fmt.Fprintf(w, "capserver_cache_inflight %d\n", cs.Inflight)
-	fmt.Fprintf(w, "capserver_queue_depth %d\n", queueDepth)
-	fmt.Fprintf(w, "capserver_queue_rejected_total %d\n", m.rejected)
-	for _, ep := range endpoints {
-		h := m.latency[ep]
-		if h == nil {
-			continue
-		}
-		fmt.Fprintf(w, "capserver_latency_ms_count{endpoint=%q} %d\n", ep, h.Total())
-		for _, q := range []float64{0.5, 0.9, 0.99} {
-			fmt.Fprintf(w, "capserver_latency_ms{endpoint=%q,quantile=\"%g\"} %.4g\n", ep, q, quantileMS(h, q))
-		}
-	}
+	m.entries.Set(int64(cs.Entries))
+	m.evicted.Set(cs.Evictions)
+	m.inflight.Set(int64(cs.Inflight))
+	m.depth.Set(int64(queueDepth))
+	m.reg.WriteProm(w)
 }

@@ -1,0 +1,82 @@
+package capserver
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestMetricsExpositionGolden locks the /metrics exposition format:
+// the refactor onto the shared obs registry must keep every
+// pre-existing series byte-identical (names, label order, quantile
+// formatting, bucket boundaries). The golden bytes below were captured
+// from the pre-registry Metrics implementation over this exact event
+// sequence.
+func TestMetricsExpositionGolden(t *testing.T) {
+	m := newMetrics(nil)
+	m.observe("bounds", 200, 5*time.Millisecond)
+	m.observe("bounds", 200, 50*time.Microsecond)
+	m.observe("bounds", 400, 2*time.Millisecond)
+	m.observe("simulate", 200, 1500*time.Millisecond)
+	m.observe("healthz", 200, 0)
+	m.computeStart("bounds")
+	m.computeStart("bounds")
+	m.computeStart("simulate")
+	m.cacheHit()
+	m.cacheMiss()
+	m.cacheMiss()
+	m.cacheShared()
+	m.queueRejected()
+	m.computePanic()
+
+	var buf bytes.Buffer
+	m.write(&buf, CacheStats{Entries: 2, Evictions: 1, Inflight: 0}, 3)
+
+	const golden = `capserver_requests_total{endpoint="bounds",code="200"} 2
+capserver_requests_total{endpoint="bounds",code="400"} 1
+capserver_requests_total{endpoint="healthz",code="200"} 1
+capserver_requests_total{endpoint="simulate",code="200"} 1
+capserver_compute_total{endpoint="bounds"} 2
+capserver_compute_total{endpoint="simulate"} 1
+capserver_compute_panics_total 1
+capserver_cache_hits_total 1
+capserver_cache_misses_total 2
+capserver_cache_shared_total 1
+capserver_cache_entries 2
+capserver_cache_evictions_total 1
+capserver_cache_inflight 0
+capserver_queue_depth 3
+capserver_queue_rejected_total 1
+capserver_latency_ms_count{endpoint="bounds"} 3
+capserver_latency_ms{endpoint="bounds",quantile="0.5"} 2.512
+capserver_latency_ms{endpoint="bounds",quantile="0.9"} 5.012
+capserver_latency_ms{endpoint="bounds",quantile="0.99"} 5.012
+capserver_latency_ms_count{endpoint="healthz"} 1
+capserver_latency_ms{endpoint="healthz",quantile="0.5"} 0.01259
+capserver_latency_ms{endpoint="healthz",quantile="0.9"} 0.01259
+capserver_latency_ms{endpoint="healthz",quantile="0.99"} 0.01259
+capserver_latency_ms_count{endpoint="simulate"} 1
+capserver_latency_ms{endpoint="simulate",quantile="0.5"} 1585
+capserver_latency_ms{endpoint="simulate",quantile="0.9"} 1585
+capserver_latency_ms{endpoint="simulate",quantile="0.99"} 1585
+`
+	if got := buf.String(); got != golden {
+		t.Errorf("exposition differs from the pre-registry format:\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+}
+
+// TestMetricsWriteIdempotent checks that rendering is a pure snapshot:
+// two consecutive writes with the same gauge inputs emit identical
+// bytes (scraping must not perturb the metrics).
+func TestMetricsWriteIdempotent(t *testing.T) {
+	m := newMetrics(nil)
+	m.observe("bounds", 200, time.Millisecond)
+	m.cacheMiss()
+	m.computeStart("bounds")
+	var a, b bytes.Buffer
+	m.write(&a, CacheStats{Entries: 1}, 0)
+	m.write(&b, CacheStats{Entries: 1}, 0)
+	if a.String() != b.String() {
+		t.Errorf("consecutive scrapes differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}

@@ -59,10 +59,11 @@ func (p BurstParams) StationaryParams() Params {
 
 // Bursty is the two-state modulated channel.
 type Bursty struct {
-	params BurstParams
-	states [2]*DeletionInsertion
-	inBad  bool
-	src    *rng.Source
+	params   BurstParams
+	states   [2]*DeletionInsertion
+	inBad    bool
+	src      *rng.Source
+	observer func(queued uint32, u Use)
 }
 
 // NewBursty returns the channel, starting in the Good state.
@@ -94,6 +95,11 @@ func (c *Bursty) Params() BurstParams { return c.params }
 // InBadState reports the current modulation state (useful for tests).
 func (c *Bursty) InBadState() bool { return c.inBad }
 
+// SetObserver installs a per-use observation hook, mirroring
+// DeletionInsertion.SetObserver. The hook observes the modulated
+// channel's uses, not the per-state sub-channels'.
+func (c *Bursty) SetObserver(fn func(queued uint32, u Use)) { c.observer = fn }
+
 // Use performs one channel use in the current state, then lets the
 // modulating chain switch.
 func (c *Bursty) Use(queued uint32) Use {
@@ -102,6 +108,9 @@ func (c *Bursty) Use(queued uint32) Use {
 		state = c.states[1]
 	}
 	u := state.Use(queued)
+	if c.observer != nil {
+		c.observer(queued, u)
+	}
 	if c.inBad {
 		if c.src.Bool(c.params.PBadToGood) {
 			c.inBad = false

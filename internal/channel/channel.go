@@ -106,8 +106,9 @@ type Use struct {
 
 // DeletionInsertion is the paper's Definition 1 channel.
 type DeletionInsertion struct {
-	params Params
-	src    *rng.Source
+	params   Params
+	src      *rng.Source
+	observer func(queued uint32, u Use)
 }
 
 // NewDeletionInsertion returns a channel with the given parameters,
@@ -125,10 +126,26 @@ func NewDeletionInsertion(params Params, src *rng.Source) (*DeletionInsertion, e
 // Params returns the channel parameters.
 func (c *DeletionInsertion) Params() Params { return c.params }
 
+// SetObserver installs a per-use observation hook, called with every
+// use's queued symbol and outcome. It exists for the observability
+// layer (internal/obs): Transmit-style whole-sequence flows have no
+// wrapper to intercept uses, so the channel itself reports them. A nil
+// fn removes the hook; the disabled cost is one nil check per use.
+func (c *DeletionInsertion) SetObserver(fn func(queued uint32, u Use)) { c.observer = fn }
+
 // Use performs one channel use with the given queued symbol and returns
 // the outcome. The caller owns queue semantics: on a consumed outcome
 // the caller advances (or, in an ARQ protocol, chooses to resend).
 func (c *DeletionInsertion) Use(queued uint32) Use {
+	u := c.use(queued)
+	if c.observer != nil {
+		c.observer(queued, u)
+	}
+	return u
+}
+
+// use draws one Definition 1 event.
+func (c *DeletionInsertion) use(queued uint32) Use {
 	u := c.src.Float64()
 	switch {
 	case u < c.params.Pd:

@@ -1,0 +1,58 @@
+package channel
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestObserverSeesEveryUse checks the observability hook: the observer
+// sees exactly the uses Transmit performs, in order, and installing it
+// does not perturb the channel's randomness.
+func TestObserverSeesEveryUse(t *testing.T) {
+	params := Params{N: 4, Pd: 0.2, Pi: 0.1, Ps: 0.05}
+	input := make([]uint32, 500)
+	src := rng.New(3)
+	for i := range input {
+		input[i] = src.Symbol(params.N)
+	}
+
+	plain, err := NewDeletionInsertion(params, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRecv, wantTrace := plain.Transmit(input)
+
+	observed, err := NewDeletionInsertion(params, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []EventKind
+	observed.SetObserver(func(queued uint32, u Use) { seen = append(seen, u.Kind) })
+	gotRecv, gotTrace := observed.Transmit(input)
+
+	if len(gotRecv) != len(wantRecv) {
+		t.Fatalf("observer perturbed the channel: %d vs %d received", len(gotRecv), len(wantRecv))
+	}
+	for i := range gotRecv {
+		if gotRecv[i] != wantRecv[i] {
+			t.Fatalf("received[%d] = %d, want %d", i, gotRecv[i], wantRecv[i])
+		}
+	}
+	if len(seen) != len(gotTrace) {
+		t.Fatalf("observer saw %d uses, trace has %d", len(seen), len(gotTrace))
+	}
+	for i := range seen {
+		if seen[i] != gotTrace[i] || seen[i] != wantTrace[i] {
+			t.Fatalf("event %d: observer %v, trace %v, want %v", i, seen[i], gotTrace[i], wantTrace[i])
+		}
+	}
+
+	// Removing the hook stops observation.
+	observed.SetObserver(nil)
+	n := len(seen)
+	observed.Use(0)
+	if len(seen) != n {
+		t.Error("observer still called after removal")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/channel"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/syncproto"
@@ -228,6 +229,7 @@ func E5BlahutArimoto(cfg Config) (Table, error) {
 			if err != nil {
 				return Table{}, err
 			}
+			cfg.Tracer.Span("ba", obs.I("n", int64(n)), obs.F("pi", pi), obs.I("iters", int64(res.Iterations)))
 			diff := closed - res.Capacity
 			if diff < 0 {
 				diff = -diff

@@ -11,6 +11,7 @@ import (
 	"repro/internal/coding/vt"
 	"repro/internal/coding/watermark"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -242,7 +243,8 @@ func e6Sequential(cfg Config, pd, pi float64) ([]string, int64, error) {
 			return nil, 0, err
 		}
 		sentBits += len(cw)
-		got, _, err := c.DecodeSequential(recv, msgBits, params)
+		got, nodes, err := c.DecodeSequential(recv, msgBits, params)
+		cfg.Tracer.Span("seqdec", obs.F("pd", pd), obs.F("pi", pi), obs.I("frame", int64(fIdx)), obs.I("nodes", int64(nodes)))
 		if err != nil {
 			wrongBits += msgBits // decoding erasure
 			continue

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/channel"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/syncproto"
 )
@@ -66,6 +67,7 @@ func E13HostileRegimes(cfg Config) (Table, error) {
 			// seed, so rows are independent and the table is a pure
 			// function of cfg.Seed.
 			src := rng.NewStream(cfg.Seed, uint64(1+pi*100+ri))
+			cfg.Tracer.Event("cell", obs.S("proto", proto), obs.S("regime", reg.name))
 			res, err := runHostileCell(cfg, proto, reg.spec, cleanRate, src)
 			if err != nil {
 				return Table{}, err
@@ -110,6 +112,7 @@ func runHostileCell(cfg Config, proto, spec string, cleanRate float64, src *rng.
 		BackoffBase:       32,
 		ErrorThreshold:    0.25,
 		DegradedRateFloor: 0.9 * cleanRate,
+		Tracer:            cfg.Tracer,
 	}
 
 	parsed, err := faultinject.ParseSpec(spec)
@@ -152,7 +155,19 @@ func runHostileCell(cfg Config, proto, spec string, cleanRate float64, src *rng.
 	if err != nil {
 		return syncproto.SupervisedResult{}, err
 	}
-	meter, err := syncproto.NewUseMeter(stack)
+	// Per-use event recording sits between the fault stack and the
+	// meter, attributing each use to the stack's injected-override
+	// count. The recorder is wrapped in only when tracing, so the
+	// disabled hot path is the bare stack.
+	var metered syncproto.UseChannel = stack
+	if cfg.Tracer != nil {
+		rec, err := obs.NewChannelRecorder(stack, cfg.Tracer, stack.Injected)
+		if err != nil {
+			return syncproto.SupervisedResult{}, err
+		}
+		metered = rec
+	}
+	meter, err := syncproto.NewUseMeter(metered)
 	if err != nil {
 		return syncproto.SupervisedResult{}, err
 	}
@@ -190,5 +205,11 @@ func runHostileCell(cfg Config, proto, spec string, cleanRate float64, src *rng.
 	if err != nil {
 		return syncproto.SupervisedResult{}, err
 	}
-	return sup.Run(msg)
+	res, err := sup.Run(msg)
+	if err != nil {
+		return res, err
+	}
+	// Close the cell with the fault layers' final injected counts.
+	stack.EmitSummary(cfg.Tracer)
+	return res, nil
 }

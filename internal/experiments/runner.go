@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -78,6 +79,17 @@ type RunOptions struct {
 	// Only restricts the batch to the listed experiment IDs (nil = all).
 	// The batch preserves registry order regardless of the order here.
 	Only []string
+	// Trace, when non-nil, gives every experiment its own trace stream
+	// named after its ID (overriding Config.Tracer for the batch). The
+	// set concatenates streams in sorted-ID order, so the assembled
+	// trace is byte-identical for every Jobs value and goroutine
+	// schedule — the same property the tables have.
+	Trace *obs.TraceSet
+	// Metrics, when non-nil, records per-experiment runner metrics:
+	// runs, errors, retries, simulated channel uses and wall-time
+	// latency. Values involve wall clocks and are not reproducible;
+	// only the exposition format is deterministic.
+	Metrics *obs.Registry
 }
 
 // Result is one experiment's outcome with its runtime observability.
@@ -162,7 +174,7 @@ func Run(ctx context.Context, cfg Config, exps []Experiment, opts RunOptions) ([
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				results[i] = runOne(ctx, cfg, selected[i], opts.Timeout)
+				results[i] = runOne(ctx, cfg, selected[i], opts)
 			}
 		}()
 	}
@@ -192,7 +204,7 @@ const retrySeedBit = uint64(1) << 63
 // panic. Timeouts and ordinary errors are not retried: a timeout has
 // already consumed its budget, and an error return is a deliberate
 // verdict rather than a crash.
-func runOne(ctx context.Context, cfg Config, e Experiment, timeout time.Duration) Result {
+func runOne(ctx context.Context, cfg Config, e Experiment, opts RunOptions) Result {
 	res := Result{Experiment: e}
 	// A batch canceled before this experiment started must not burn an
 	// attempt (or a retry) on it: fail fast with the context verdict.
@@ -200,9 +212,9 @@ func runOne(ctx context.Context, cfg Config, e Experiment, timeout time.Duration
 		res.Err = fmt.Errorf("%s: %w", e.ID, err)
 		return res
 	}
-	if timeout > 0 {
+	if opts.Timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
 		defer cancel()
 	}
 	type outcome struct {
@@ -212,6 +224,11 @@ func runOne(ctx context.Context, cfg Config, e Experiment, timeout time.Duration
 	attempt := func(seedIndex uint64) outcome {
 		ecfg := cfg
 		ecfg.Seed = rng.Stream(cfg.Seed, seedIndex)
+		if opts.Trace != nil {
+			// Each experiment writes its own stream; the set assembles
+			// them in sorted-ID order regardless of worker scheduling.
+			ecfg.Tracer = opts.Trace.Tracer(e.ID)
+		}
 		done := make(chan outcome, 1)
 		go func() {
 			defer func() {
@@ -246,7 +263,26 @@ func runOne(ctx context.Context, cfg Config, e Experiment, timeout time.Duration
 			res.UsesPerSec = float64(res.Uses) / s
 		}
 	}
+	recordRunMetrics(opts.Metrics, res)
 	return res
+}
+
+// recordRunMetrics updates the per-experiment runner metrics for one
+// finished result. A nil registry records nothing.
+func recordRunMetrics(reg *obs.Registry, r Result) {
+	if reg == nil {
+		return
+	}
+	id := r.Experiment.ID
+	reg.CounterVec("experiments_runs_total", "id").With(id).Inc()
+	if r.Retried {
+		reg.CounterVec("experiments_retries_total", "id").With(id).Inc()
+	}
+	if r.Err != nil {
+		reg.CounterVec("experiments_errors_total", "id").With(id).Inc()
+	}
+	reg.CounterVec("experiments_uses_total", "id").With(id).Add(r.Uses)
+	reg.LatencyVec("experiments_wall_ms", "id").Observe(id, r.Wall)
 }
 
 // Tables extracts the emitted tables from a batch, failing on the first

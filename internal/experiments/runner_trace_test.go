@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// tracedBatch runs the tracing-instrumented experiments (E5 kernel
+// spans, E6 sequential-decoder spans, E13 channel-use and supervision
+// events) with the given worker count and returns the assembled trace.
+func tracedBatch(t *testing.T, jobs int) []byte {
+	t.Helper()
+	set := obs.NewTraceSet()
+	results, err := Run(context.Background(), runnerConfig(), Registry(),
+		RunOptions{Jobs: jobs, Only: []string{"E5", "E6", "E13"}, Trace: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Experiment.ID, r.Err)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := set.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRunnerTraceParallelMatchesSerial extends the byte-identity
+// guarantee from tables to traces: the assembled batch trace must not
+// depend on the worker count or goroutine schedule.
+func TestRunnerTraceParallelMatchesSerial(t *testing.T) {
+	serial := tracedBatch(t, 1)
+	parallel := tracedBatch(t, 8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("batch trace differs between jobs=1 (%d bytes) and jobs=8 (%d bytes)",
+			len(serial), len(parallel))
+	}
+	if len(serial) == 0 {
+		t.Fatal("traced batch emitted no events")
+	}
+	// The three instrumented layers must all be represented.
+	for _, want := range []string{`"t":"span","sp":"ba"`, `"sp":"seqdec"`, `"t":"use"`, `"t":"sup"`, `"t":"cell"`} {
+		if !bytes.Contains(serial, []byte(want)) {
+			t.Errorf("trace is missing %s events", want)
+		}
+	}
+}
+
+// TestRunnerTraceAnalysis reads an E13 batch trace back through the
+// obs analyzer: the per-use events must support a (Pd, Pi, Ps)
+// estimate, and the supervision counters must be present.
+func TestRunnerTraceAnalysis(t *testing.T) {
+	set := obs.NewTraceSet()
+	results, err := Run(context.Background(), runnerConfig(), Registry(),
+		RunOptions{Jobs: 2, Only: []string{"E13"}, Trace: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil {
+		t.Fatal(results[0].Err)
+	}
+	var buf bytes.Buffer
+	if _, err := set.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := obs.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Uses() == 0 {
+		t.Fatal("trace recorded no channel uses")
+	}
+	est := sum.Estimate()
+	// E13's channel-backed cells run Pd=0.05 with Pi in {0, 0.02}, plus
+	// fault layers that only raise the effective rates; the pooled
+	// estimate must land in a loose band around those.
+	if est.Pd <= 0.01 || est.Pd >= 0.6 {
+		t.Errorf("pooled Pd estimate %v implausible for E13's regimes", est.Pd)
+	}
+	if sum.Attempts == 0 || sum.Chunks == 0 {
+		t.Errorf("supervision events missing: attempts=%d chunks=%d", sum.Attempts, sum.Chunks)
+	}
+}
+
+// TestRunnerMetrics checks the per-experiment runner metrics: counts
+// are exact and the exposition is well-formed.
+func TestRunnerMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	results, err := Run(context.Background(), runnerConfig(), Registry(),
+		RunOptions{Jobs: 4, Only: []string{"E1", "E5", "E13"}, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Experiment.ID, r.Err)
+		}
+	}
+	runs := reg.CounterVec("experiments_runs_total", "id")
+	for _, id := range []string{"E1", "E5", "E13"} {
+		if got := runs.Value(id); got != 1 {
+			t.Errorf("experiments_runs_total{id=%q} = %d, want 1", id, got)
+		}
+	}
+	var buf bytes.Buffer
+	reg.WriteProm(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`experiments_runs_total{id="E1"} 1`,
+		`experiments_uses_total{id="E13"}`,
+		`experiments_wall_ms_count{id="E5"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Table is one experiment's output.
@@ -122,6 +124,15 @@ type Config struct {
 	// this custom regime in addition to its built-in sweeps. Other
 	// experiments ignore it.
 	Inject string
+	// Tracer, when non-nil, records structured observability events
+	// from the experiments that support tracing: per-channel-use events
+	// and protocol supervision state (E13), and kernel spans carrying
+	// solver iteration counts (E5's Blahut-Arimoto runs, E6's
+	// sequential-decoder node counts). Every recorded field is a
+	// deterministic function of the experiment seed — never wall time —
+	// so traces replay byte-identically. Nil disables recording; the
+	// disabled cost is a nil check per event site.
+	Tracer *obs.Tracer
 }
 
 // withDefaults fills unset fields.

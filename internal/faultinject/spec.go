@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/channel"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -105,6 +106,16 @@ func (st *Stack) Injected() int64 {
 
 // Layers returns the built layers, innermost first.
 func (st *Stack) Layers() []Layer { return st.layers }
+
+// EmitSummary records one "layer" trace event per built layer
+// (innermost first) with its name and cumulative override count — the
+// fault-injection layer state a trace analysis sees alongside the
+// per-use events. A nil tracer no-ops.
+func (st *Stack) EmitSummary(tr *obs.Tracer) {
+	for _, l := range st.layers {
+		tr.Event("layer", obs.S("layer", l.Name()), obs.I("injected", l.Injected()))
+	}
+}
 
 // Build wraps inner with the spec's layers in order, drawing each
 // layer's randomness from an independent split of src. Symbol width n

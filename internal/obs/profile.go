@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles begins CPU profiling into dir/cpu.pprof and returns a
+// stop function that finishes the CPU profile and writes a heap
+// profile to dir/heap.pprof. It backs the -pprof flag of the CLIs
+// (stdlib runtime/pprof only).
+func StartProfiles(dir string) (stop func() error, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: pprof dir: %w", err)
+	}
+	cpuFile, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(cpuFile); err != nil {
+		cpuFile.Close()
+		return nil, fmt.Errorf("obs: start cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := cpuFile.Close(); err != nil {
+			return fmt.Errorf("obs: close cpu profile: %w", err)
+		}
+		heapFile, err := os.Create(filepath.Join(dir, "heap.pprof"))
+		if err != nil {
+			return fmt.Errorf("obs: heap profile: %w", err)
+		}
+		runtime.GC() // materialize up-to-date allocation stats
+		if err := pprof.WriteHeapProfile(heapFile); err != nil {
+			heapFile.Close()
+			return fmt.Errorf("obs: write heap profile: %w", err)
+		}
+		return heapFile.Close()
+	}, nil
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryExpositionDeterministic(t *testing.T) {
+	build := func(order []string) string {
+		r := NewRegistry()
+		reqs := r.CounterVec("requests_total", "endpoint", "code")
+		hits := r.Counter("hits_total")
+		r.GaugeFunc("depth", func() int64 { return 7 })
+		g := r.Gauge("inflight")
+		for _, ep := range order {
+			reqs.With(ep, "200").Inc()
+		}
+		reqs.With("a", "400").Add(2)
+		hits.Add(3)
+		g.Set(5)
+		var b strings.Builder
+		r.WriteProm(&b)
+		return b.String()
+	}
+	got := build([]string{"b", "a", "c"})
+	want := strings.Join([]string{
+		`requests_total{endpoint="a",code="200"} 1`,
+		`requests_total{endpoint="a",code="400"} 2`,
+		`requests_total{endpoint="b",code="200"} 1`,
+		`requests_total{endpoint="c",code="200"} 1`,
+		`hits_total 3`,
+		`depth 7`,
+		`inflight 5`,
+	}, "\n") + "\n"
+	if got != want {
+		t.Errorf("exposition:\n%s\nwant:\n%s", got, want)
+	}
+	// Cell creation order must not affect the bytes.
+	if again := build([]string{"c", "b", "a"}); again != got {
+		t.Errorf("exposition depends on creation order:\n%s\nvs\n%s", got, again)
+	}
+}
+
+func TestCounterVecValueDoesNotCreate(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("x_total", "l")
+	if got := v.Value("absent"); got != 0 {
+		t.Fatalf("absent value = %d", got)
+	}
+	var b strings.Builder
+	r.WriteProm(&b)
+	if b.Len() != 0 {
+		t.Errorf("read-back materialized a series:\n%s", b.String())
+	}
+}
+
+func TestRegistryReRegister(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total")
+	b := r.Counter("c_total")
+	a.Inc()
+	b.Inc()
+	if got := a.Value(); got != 2 {
+		t.Errorf("re-registered counter split state: %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("shape conflict did not panic")
+		}
+	}()
+	r.Gauge("c_total")
+}
+
+// TestLatencyClampZeroDuration locks the log10(0) audit: zero,
+// negative and sub-lowest-edge durations land in the lowest bucket
+// (never a -Inf/NaN bucket selection), and the quantile read-back is
+// the lowest bucket's upper edge.
+func TestLatencyClampZeroDuration(t *testing.T) {
+	r := NewRegistry()
+	lv := r.LatencyVec("lat_ms", "ep")
+	lv.Observe("x", 0)
+	lv.Observe("x", -time.Second)
+	lv.Observe("x", time.Nanosecond) // 1e-6 ms, below the 10µs lowest edge
+	if got := lv.Total("x"); got != 3 {
+		t.Fatalf("total = %d, want 3 (observations dropped)", got)
+	}
+	c := lv.f.peek([]string{"x"})
+	counts := c.hist.Counts()
+	if counts[0] != 3 {
+		t.Errorf("lowest bucket holds %d of 3 clamped observations; counts[0..3]=%v", counts[0], counts[:4])
+	}
+	var b strings.Builder
+	r.WriteProm(&b)
+	// Upper edge of bucket 0 is 10^(-2+0.1) ms.
+	if !strings.Contains(b.String(), `lat_ms{ep="x",quantile="0.5"} 0.01259`) {
+		t.Errorf("quantile not at lowest bucket edge:\n%s", b.String())
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("n_total", "w")
+	lv := r.LatencyVec("lat_ms", "w")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := string(rune('a' + w%4))
+			for i := 0; i < 500; i++ {
+				v.With(name).Inc()
+				lv.Observe(name, time.Duration(i)*time.Microsecond)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			r.WriteProm(&b)
+		}
+		close(done)
+	}()
+	wg.Wait()
+	<-done
+	var total int64
+	for _, name := range []string{"a", "b", "c", "d"} {
+		total += v.Value(name)
+	}
+	if total != 8*500 {
+		t.Errorf("lost increments: %d of %d", total, 8*500)
+	}
+}

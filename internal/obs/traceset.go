@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// TraceSet is a deterministic multi-stream trace sink for parallel
+// runs: each independent stream (one experiment, one worker task)
+// records into its own named in-memory tracer, and WriteTo emits the
+// buffers concatenated in sorted-name order. The resulting JSONL file
+// is therefore byte-identical regardless of worker count or goroutine
+// schedule, as long as each stream is individually deterministic.
+//
+// A nil *TraceSet is the disabled fast path: Tracer returns a nil
+// *Tracer, which no-ops everywhere.
+type TraceSet struct {
+	mu      sync.Mutex
+	bufs    map[string]*bytes.Buffer
+	tracers map[string]*Tracer
+}
+
+// NewTraceSet returns an empty set.
+func NewTraceSet() *TraceSet {
+	return &TraceSet{
+		bufs:    make(map[string]*bytes.Buffer),
+		tracers: make(map[string]*Tracer),
+	}
+}
+
+// Tracer returns the named stream's tracer, creating it on first use.
+// Calling Tracer on a nil set returns a nil (disabled) tracer.
+func (s *TraceSet) Tracer(name string) *Tracer {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tracers[name]; ok {
+		return t
+	}
+	buf := &bytes.Buffer{}
+	t := NewTracer(buf)
+	s.bufs[name] = buf
+	s.tracers[name] = t
+	return t
+}
+
+// Names returns the stream names in sorted (emission) order.
+func (s *TraceSet) Names() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.bufs))
+	for n := range s.bufs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Events returns the total events recorded across all streams.
+func (s *TraceSet) Events() int64 {
+	if s == nil {
+		return 0
+	}
+	var n int64
+	for _, name := range s.Names() {
+		s.mu.Lock()
+		t := s.tracers[name]
+		s.mu.Unlock()
+		n += t.Events()
+	}
+	return n
+}
+
+// WriteTo flushes every stream and writes the buffers to w in sorted
+// stream-name order.
+func (s *TraceSet) WriteTo(w io.Writer) (int64, error) {
+	if s == nil {
+		return 0, nil
+	}
+	var total int64
+	for _, name := range s.Names() {
+		s.mu.Lock()
+		t, buf := s.tracers[name], s.bufs[name]
+		s.mu.Unlock()
+		if err := t.Flush(); err != nil {
+			return total, fmt.Errorf("obs: stream %q: %w", name, err)
+		}
+		n, err := w.Write(buf.Bytes())
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -104,10 +104,14 @@ func (p Proportion) Wilson95() (lo, hi float64) {
 	half := z * math.Sqrt(phat*(1-phat)/n+z*z/(4*n*n)) / denom
 	lo = center - half
 	hi = center + half
-	if lo < 0 {
+	// At the boundaries the Wilson endpoint is exactly 0 (K = 0) or 1
+	// (K = N) analytically, but center and half only agree to rounding
+	// error; pin them so interval-membership tests of the boundary
+	// succeed.
+	if lo < 0 || p.K == 0 {
 		lo = 0
 	}
-	if hi > 1 {
+	if hi > 1 || p.K == p.N {
 		hi = 1
 	}
 	return lo, hi

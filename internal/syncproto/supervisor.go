@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/channel"
+	"repro/internal/obs"
 )
 
 // Protocol is any synchronization protocol runner in this package:
@@ -135,6 +136,12 @@ type SupervisorConfig struct {
 	// slots flowing while quietly destroying their information
 	// content.
 	DegradedRateFloor float64
+	// Tracer, when non-nil, records the supervision state machine as
+	// structured events: chunk starts (with the protocol phase),
+	// attempts, backoff burns, resyncs, recoveries, abandoned chunks
+	// and a final summary. Every recorded field is a deterministic
+	// count, so supervised traces replay byte-identically.
+	Tracer *obs.Tracer
 }
 
 // withDefaults fills unset fields.
@@ -271,11 +278,13 @@ func (s *Supervisor) runAttempt(p Protocol, chunk []uint32) (res Result, ok bool
 // protocol, backing off between failures. Alongside the chunk result
 // it returns the attempt's accounting uses that never touched the
 // channel (DelayedARQ's idle feedback slots), which the meter cannot
-// see but the aggregate Uses must include.
-func (s *Supervisor) tryChunk(p Protocol, chunk []uint32, sup *SupervisedResult) (Result, int, bool, error) {
+// see but the aggregate Uses must include. chunkIdx labels the trace
+// events.
+func (s *Supervisor) tryChunk(p Protocol, chunk []uint32, chunkIdx int, sup *SupervisedResult) (Result, int, bool, error) {
 	backoff := int64(s.cfg.BackoffBase)
 	for attempt := 0; attempt < s.cfg.MaxAttempts; attempt++ {
 		sup.Attempts++
+		s.cfg.Tracer.Event("attempt", obs.I("chunk", int64(chunkIdx)), obs.I("attempt", int64(attempt+1)))
 		var before int64
 		if s.meter != nil {
 			before = s.meter.Total()
@@ -300,6 +309,7 @@ func (s *Supervisor) tryChunk(p Protocol, chunk []uint32, sup *SupervisedResult)
 		if s.meter != nil && backoff > 0 && attempt < s.cfg.MaxAttempts-1 {
 			s.meter.Burn(backoff)
 			sup.BackoffUses += backoff
+			s.cfg.Tracer.Event("backoff", obs.I("chunk", int64(chunkIdx)), obs.I("uses", backoff))
 			if backoff <= 1<<30 {
 				backoff *= 2
 			}
@@ -329,20 +339,24 @@ func (s *Supervisor) Run(msg []uint32) (SupervisedResult, error) {
 			end = len(msg)
 		}
 		chunk := msg[start:end]
+		chunkIdx := sup.Chunks
 		sup.Chunks++
 
 		proto := s.active
+		phase := "active"
 		if onFallback && s.resync != nil {
 			proto = s.resync
+			phase = "fallback"
 		}
-		res, idle, ok, err := s.tryChunk(proto, chunk, &sup)
+		s.cfg.Tracer.Event("chunk", obs.I("chunk", int64(chunkIdx)), obs.S("proto", phase))
+		res, idle, ok, err := s.tryChunk(proto, chunk, chunkIdx, &sup)
 		if err != nil {
 			return SupervisedResult{}, err
 		}
 		if !ok && !onFallback && s.resync != nil {
 			// The active protocol could not finish the chunk within
 			// its deadlines; resynchronize via the fallback.
-			res, idle, ok, err = s.tryChunk(s.resync, chunk, &sup)
+			res, idle, ok, err = s.tryChunk(s.resync, chunk, chunkIdx, &sup)
 			if err != nil {
 				return SupervisedResult{}, err
 			}
@@ -350,10 +364,12 @@ func (s *Supervisor) Run(msg []uint32) (SupervisedResult, error) {
 				onFallback = true
 				cleanStreak = 0
 				sup.Resyncs++
+				s.cfg.Tracer.Event("resync", obs.I("chunk", int64(chunkIdx)))
 			}
 		}
 		if !ok {
 			sup.FailedChunks++
+			s.cfg.Tracer.Event("chunkfail", obs.I("chunk", int64(chunkIdx)))
 			continue
 		}
 
@@ -373,6 +389,7 @@ func (s *Supervisor) Run(msg []uint32) (SupervisedResult, error) {
 				onFallback = true
 				cleanStreak = 0
 				sup.Resyncs++
+				s.cfg.Tracer.Event("resync", obs.I("chunk", int64(chunkIdx)))
 			}
 		} else {
 			if errRate <= s.cfg.ErrorThreshold/2 {
@@ -381,6 +398,7 @@ func (s *Supervisor) Run(msg []uint32) (SupervisedResult, error) {
 					onFallback = false
 					cleanStreak = 0
 					sup.Recoveries++
+					s.cfg.Tracer.Event("recover", obs.I("chunk", int64(chunkIdx)))
 				}
 			} else {
 				cleanStreak = 0
@@ -411,5 +429,15 @@ func (s *Supervisor) Run(msg []uint32) (SupervisedResult, error) {
 	default:
 		sup.Status = StatusOK
 	}
+	s.cfg.Tracer.Event("sup",
+		obs.S("status", sup.Status.String()),
+		obs.I("chunks", int64(sup.Chunks)),
+		obs.I("attempts", int64(sup.Attempts)),
+		obs.I("retries", int64(sup.Retries)),
+		obs.I("resyncs", int64(sup.Resyncs)),
+		obs.I("recoveries", int64(sup.Recoveries)),
+		obs.I("failed", int64(sup.FailedChunks)),
+		obs.I("uses", int64(sup.Uses)),
+		obs.I("backoff_uses", sup.BackoffUses))
 	return sup, nil
 }

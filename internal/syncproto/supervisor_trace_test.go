@@ -1,0 +1,127 @@
+package syncproto
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/obs"
+)
+
+// tracedDeadRun drives the dead-channel supervision scenario (every
+// attempt fails, every chunk is abandoned) with a tracer attached and
+// returns the result plus the raw trace bytes.
+func tracedDeadRun(t *testing.T) (SupervisedResult, []byte) {
+	t.Helper()
+	const n = 4
+	meter := meteredChannel(t, channel.Params{N: n, Pd: 1}, 4)
+	arq, err := NewARQOver(meter, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter, err := NewCounterOver(meter, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf)
+	sup, err := NewSupervisor(arq, counter, meter, SupervisorConfig{
+		ChunkSymbols: 64, AttemptUses: 128, MaxAttempts: 2, BackoffBase: 8,
+		Tracer: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sup.Run(superMsg(5, 256, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.Bytes()
+}
+
+// TestSupervisorTraceMatchesResult checks that the supervision events a
+// traced run emits reproduce the SupervisedResult accounting when read
+// back through obs.ReadTrace.
+func TestSupervisorTraceMatchesResult(t *testing.T) {
+	res, raw := tracedDeadRun(t)
+	sum, err := obs.ReadTrace(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Chunks != int64(res.Chunks) {
+		t.Errorf("trace chunks = %d, result has %d", sum.Chunks, res.Chunks)
+	}
+	if sum.Attempts != int64(res.Attempts) {
+		t.Errorf("trace attempts = %d, result has %d", sum.Attempts, res.Attempts)
+	}
+	if sum.FailedChunks != int64(res.FailedChunks) {
+		t.Errorf("trace failed chunks = %d, result has %d", sum.FailedChunks, res.FailedChunks)
+	}
+	if sum.BackoffUses != res.BackoffUses {
+		t.Errorf("trace backoff uses = %d, result has %d", sum.BackoffUses, res.BackoffUses)
+	}
+	if sum.Resyncs != int64(res.Resyncs) {
+		t.Errorf("trace resyncs = %d, result has %d", sum.Resyncs, res.Resyncs)
+	}
+	// On a dead channel every chunk needs a second attempt per protocol
+	// pass: the analyzer's retry count (attempts beyond a chunk's first)
+	// must be exactly the attempt events with attempt >= 2.
+	if want := int64(res.Attempts / 2); sum.Retries != want {
+		t.Errorf("trace retries = %d, want %d second attempts", sum.Retries, want)
+	}
+}
+
+// TestSupervisorTraceResyncAndRecover checks the divergence-driven
+// events: a naive protocol that drifts off sync forces a resync to the
+// counter fallback, and with RecoverAfter set the supervisor returns to
+// the active protocol — both transitions must appear in the trace.
+func TestSupervisorTraceResyncAndRecover(t *testing.T) {
+	const n = 4
+	meter := meteredChannel(t, channel.Params{N: n, Pd: 0.1, Pi: 0.05}, 11)
+	naive, err := NewNaiveOver(meter, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter, err := NewCounterOver(meter, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf)
+	sup, err := NewSupervisor(naive, counter, meter, SupervisorConfig{
+		ChunkSymbols: 256, RecoverAfter: 2, Tracer: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sup.Run(superMsg(12, 8000, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := obs.ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Resyncs != int64(res.Resyncs) || sum.Resyncs < 2 {
+		t.Errorf("trace resyncs = %d, result %d, want >= 2", sum.Resyncs, res.Resyncs)
+	}
+	if sum.Recoveries != int64(res.Recoveries) || sum.Recoveries == 0 {
+		t.Errorf("trace recoveries = %d, result %d, want > 0", sum.Recoveries, res.Recoveries)
+	}
+}
+
+// TestSupervisorTraceDeterministic replays the traced dead-channel run
+// and requires byte-identical trace output.
+func TestSupervisorTraceDeterministic(t *testing.T) {
+	_, a := tracedDeadRun(t)
+	_, b := tracedDeadRun(t)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("trace is not replayable:\n%q\n%q", a, b)
+	}
+}
