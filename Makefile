@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race race-hostile race-obs fuzz-smoke bench-smoke serve-smoke trace-smoke bench
+.PHONY: ci fmt vet build test race race-hostile race-obs fuzz-smoke bench-smoke serve-smoke trace-smoke bench bench-json
 
 ci: fmt vet build test race race-hostile race-obs fuzz-smoke bench-smoke serve-smoke trace-smoke
 
@@ -35,10 +35,11 @@ race-hostile:
 	$(GO) test -race ./internal/faultinject/... ./internal/syncproto/...
 
 # Focused race pass over the observability layer and its biggest
-# consumer: the registry and tracer are the shared mutable state every
-# other package writes through.
+# consumers: the registry and tracer are the shared mutable state every
+# other package writes through, and the channel package's word-at-a-time
+# fast path must stay equivalent to the observed per-use path.
 race-obs:
-	$(GO) test -race ./internal/obs/... ./internal/capserver/...
+	$(GO) test -race ./internal/obs/... ./internal/capserver/... ./internal/channel/...
 
 # 30 seconds per native fuzz target: the Definition 1 trace invariants
 # and the fault-spec grammar. Regressions the unit corpus misses show
@@ -48,9 +49,15 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseSpec$$' -fuzztime 30s ./internal/faultinject
 
 # One iteration of the serial/parallel batch benchmarks, as a smoke
-# test that the benchmark harness itself still runs.
+# test that the benchmark harness itself still runs; then a smoke run of
+# the kernel trajectory tool, validating both its fresh output and the
+# committed BENCH_kernels.json parse with the expected metric keys.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkAll(Serial|Parallel)$$' -benchtime 1x .
+	@tmp="$$(mktemp)"; trap 'rm -f "$$tmp"' EXIT; \
+	$(GO) run ./cmd/kernelbench -smoke -out "$$tmp" && \
+	$(GO) run ./cmd/kernelbench -check "$$tmp" && \
+	$(GO) run ./cmd/kernelbench -check BENCH_kernels.json
 
 # Serving gate: boot a capserver in-process on an ephemeral port, hit
 # every endpoint, assert 200 + well-formed JSON, shut down cleanly.
@@ -70,3 +77,9 @@ trace-smoke:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Full kernel before/after measurement: rewrites BENCH_kernels.json,
+# the machine-readable perf trajectory of the optimized hot paths vs.
+# their retained reference implementations.
+bench-json:
+	$(GO) run ./cmd/kernelbench -out BENCH_kernels.json

@@ -1,5 +1,5 @@
 // Package repro holds the top-level benchmark harness: one testing.B
-// benchmark per experiment in DESIGN.md's index (E1–E10). Each
+// benchmark per experiment in the registry (E1–E13 and A1–A5). Each
 // benchmark re-runs the full experiment per iteration and reports its
 // headline quantity as a custom metric, so `go test -bench=.` both
 // times the reproduction pipeline and surfaces the reproduced numbers.
@@ -195,7 +195,7 @@ func BenchmarkE12TimingChannel(b *testing.B) {
 	b.ReportMetric(metric(b, last, len(last.Rows)-1, "C_corrected"), "miss0.3-corrected")
 }
 
-// benchAll runs the full E1–E12 batch through the runner with the given
+// benchAll runs the full experiment batch through the runner with the given
 // worker count and reports aggregate channel-uses throughput. Comparing
 // BenchmarkAllSerial against BenchmarkAllParallel shows the wall-clock
 // gain from concurrent experiments on multi-core machines; the emitted
@@ -219,6 +219,19 @@ func benchAll(b *testing.B, jobs int) {
 		}
 	}
 	b.ReportMetric(float64(uses)/b.Elapsed().Seconds()*float64(b.N), "uses/sec")
+}
+
+func BenchmarkE13HostileRegimes(b *testing.B) {
+	var last experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.E13HostileRegimes(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	// First row is the clean calibration run of the first protocol.
+	b.ReportMetric(metric(b, last, 0, "rate(b/use)"), "clean-rate")
 }
 
 func BenchmarkAllSerial(b *testing.B)   { benchAll(b, 1) }

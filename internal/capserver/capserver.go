@@ -66,6 +66,9 @@ type Config struct {
 	// MaxSymbols caps the message length a /v1/simulate or
 	// /v1/experiments request may ask for (default 200000).
 	MaxSymbols int
+	// MaxBatchPoints caps the parameter points one /v1/bounds:batch
+	// request may carry (default 256).
+	MaxBatchPoints int
 	// Metrics, when non-nil, is the obs.Registry the server registers
 	// its metric families on, letting an embedding process expose one
 	// /metrics page for the service and its own instrumentation. Nil
@@ -93,6 +96,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxSymbols <= 0 {
 		c.MaxSymbols = 200000
 	}
+	if c.MaxBatchPoints <= 0 {
+		c.MaxBatchPoints = 256
+	}
 	return c
 }
 
@@ -118,6 +124,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/bounds", s.handleCompute("bounds", s.buildBounds))
+	s.mux.HandleFunc("POST /v1/bounds:batch", s.handleBoundsBatch)
 	s.mux.HandleFunc("GET /v1/predict", s.handleCompute("predict", s.buildPredict))
 	s.mux.HandleFunc("GET /v1/simulate", s.handleCompute("simulate", s.buildSimulate))
 	s.mux.HandleFunc("GET /v1/trace", s.handleCompute("trace", s.buildTrace))
@@ -275,9 +282,16 @@ func errorBody(err error) []byte {
 	return b
 }
 
-// retryAfterSeconds rounds d up to whole seconds, minimum 1.
+// retryAfterSeconds rounds d up to whole seconds, minimum 1, so a
+// sub-second RetryAfter config can never emit "Retry-After: 0" (which
+// clients treat as "retry immediately", defeating backpressure). The
+// round-up avoids the naive d+time.Second-1 form, which overflows for
+// durations near the int64 maximum.
 func retryAfterSeconds(d time.Duration) int {
-	secs := int((d + time.Second - 1) / time.Second)
+	secs := int(d / time.Second)
+	if time.Duration(secs)*time.Second != d {
+		secs++
+	}
 	if secs < 1 {
 		secs = 1
 	}

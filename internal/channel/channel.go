@@ -167,7 +167,25 @@ func (c *DeletionInsertion) use(queued uint32) Use {
 // returns the received sequence together with the per-use event trace.
 // The channel is used until every input symbol has been consumed
 // (delivered or deleted); insertions are interleaved per Definition 1.
+//
+// With no observer installed, Transmit runs an integer-threshold fast
+// path that draws the identical random stream as the per-use path (see
+// probThreshold), so received symbols, traces and subsequent RNG state
+// are byte-identical to TransmitReference at any seed. With an
+// observer, every use goes through Use so the hook sees the same
+// per-use stream as before.
 func (c *DeletionInsertion) Transmit(input []uint32) (received []uint32, trace []EventKind) {
+	if c.observer != nil {
+		return c.TransmitReference(input)
+	}
+	return c.transmitFast(input)
+}
+
+// TransmitReference is the original per-use scalar transmit loop. It is
+// the ground truth for the fast paths: differential tests assert
+// identical outputs and RNG state, and cmd/kernelbench times it for the
+// "before" column of BENCH_kernels.json.
+func (c *DeletionInsertion) TransmitReference(input []uint32) (received []uint32, trace []EventKind) {
 	received = make([]uint32, 0, len(input))
 	trace = make([]EventKind, 0, len(input)+4)
 	for i := 0; i < len(input); {
@@ -182,6 +200,68 @@ func (c *DeletionInsertion) Transmit(input []uint32) (received []uint32, trace [
 			received = append(received, u.Delivered)
 			i++
 		}
+	}
+	return received, trace
+}
+
+// probThreshold maps a probability to the integer threshold T such that
+// for m = Uint64()>>11 (the 53-bit draw behind rng's Float64),
+// m < T  ⟺  Float64() < p, exactly: Float64() < p ⟺ m < p·2^53, and
+// since p·2^53 is an exact float (scaling by a power of two) and m an
+// integer, that is m < ceil(p·2^53). Comparing integers lets the hot
+// loop skip the int→float conversion and float divide per use.
+func probThreshold(p float64) uint64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1 << 53
+	}
+	return uint64(math.Ceil(p * (1 << 53)))
+}
+
+// transmitFast is Transmit without the observer indirection: one
+// integer compare per Definition 1 event, drawing exactly the same
+// random variates in the same order as the per-use path.
+func (c *DeletionInsertion) transmitFast(input []uint32) (received []uint32, trace []EventKind) {
+	var (
+		src     = c.src
+		tDel    = probThreshold(c.params.Pd)
+		tDelIns = probThreshold(c.params.Pd + c.params.Pi)
+		psZero  = c.params.Ps <= 0
+		psOne   = c.params.Ps >= 1
+		tSub    = probThreshold(c.params.Ps)
+		m       = uint64(c.params.M())
+		mask    = uint32(c.params.M() - 1)
+		shift   = 64 - uint(c.params.N)
+	)
+	received = make([]uint32, 0, len(input))
+	trace = make([]EventKind, 0, len(input)+4)
+	for i := 0; i < len(input); {
+		u := src.Uint64() >> 11
+		if u < tDel {
+			trace = append(trace, EventDelete)
+			i++
+			continue
+		}
+		if u < tDelIns {
+			received = append(received, uint32(src.Uint64()>>shift))
+			trace = append(trace, EventInsert)
+			continue
+		}
+		sub := false
+		if !psZero {
+			sub = psOne || src.Uint64()>>11 < tSub
+		}
+		if sub {
+			delta := 1 + uint32(src.Uint64n(m-1))
+			received = append(received, (input[i]+delta)&mask)
+			trace = append(trace, EventSubstitute)
+		} else {
+			received = append(received, input[i])
+			trace = append(trace, EventTransmit)
+		}
+		i++
 	}
 	return received, trace
 }

@@ -1,0 +1,130 @@
+package conv
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/rng"
+)
+
+// diChannel runs a message through encode + a seeded binary
+// deletion–insertion channel and returns the received stream.
+func diChannel(t *testing.T, c *Code, msg []byte, pd, pi, ps float64, seed uint64) []byte {
+	t.Helper()
+	coded, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := channel.NewBinaryDI(pd, pi, ps, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv, err := ch.Transmit(coded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recv
+}
+
+// TestDecodeDriftMatchesReference checks the pooled/memoized drift
+// Viterbi decoder against the retained reference across noise regimes:
+// identical message or identical failure.
+func TestDecodeDriftMatchesReference(t *testing.T) {
+	c := Standard()
+	src := rng.New(41)
+	cases := []struct{ pd, pi, ps float64 }{
+		{0, 0, 0},
+		{0.02, 0, 0},
+		{0, 0.02, 0},
+		{0.01, 0.01, 0.01},
+		{0.05, 0.05, 0.02},
+		{0.1, 0.08, 0.05},
+	}
+	for i, tc := range cases {
+		for trial := 0; trial < 6; trial++ {
+			msg := make([]byte, 40+src.Intn(40))
+			for j := range msg {
+				msg[j] = src.Bit()
+			}
+			recv := diChannel(t, c, msg, tc.pd, tc.pi, tc.ps, uint64(1000*i+trial))
+			p := DriftParams{Pd: tc.pd, Pi: tc.pi, Ps: tc.ps, MaxDrift: 12}
+			got, gotErr := c.DecodeDrift(recv, len(msg), p)
+			want, wantErr := c.DecodeDriftReference(recv, len(msg), p)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("case %d trial %d: error mismatch: %v vs %v", i, trial, gotErr, wantErr)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("case %d trial %d: decoded message differs from reference", i, trial)
+			}
+		}
+	}
+}
+
+// TestDecodeSequentialMatchesReference checks the arena/memo stack
+// decoder against the reference: identical message, identical expansion
+// count (the pop order must match, so ties in the heap must resolve the
+// same way), identical failures.
+func TestDecodeSequentialMatchesReference(t *testing.T) {
+	c := Standard()
+	src := rng.New(43)
+	cases := []struct{ pd, pi, ps float64 }{
+		{0, 0, 0},
+		{0.02, 0, 0},
+		{0, 0.02, 0},
+		{0.01, 0.01, 0.01},
+		{0.06, 0.04, 0.03},
+		{0.12, 0.1, 0.06}, // hostile: exercises the work-limit path
+	}
+	for i, tc := range cases {
+		for trial := 0; trial < 6; trial++ {
+			msg := make([]byte, 40+src.Intn(40))
+			for j := range msg {
+				msg[j] = src.Bit()
+			}
+			recv := diChannel(t, c, msg, tc.pd, tc.pi, tc.ps, uint64(2000*i+trial))
+			p := SequentialParams{Pd: tc.pd, Pi: tc.pi, Ps: tc.ps, MaxDrift: 12}
+			got, gotExp, gotErr := c.DecodeSequential(recv, len(msg), p)
+			want, wantExp, wantErr := c.DecodeSequentialReference(recv, len(msg), p)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("case %d trial %d: error mismatch: %v vs %v", i, trial, gotErr, wantErr)
+			}
+			if gotExp != wantExp {
+				t.Fatalf("case %d trial %d: expansions %d != reference %d", i, trial, gotExp, wantExp)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("case %d trial %d: decoded message differs from reference", i, trial)
+			}
+		}
+	}
+}
+
+// TestDecodeScratchReuse reruns the same decode back-to-back so the
+// second call sees a dirty pooled scratch; results must not change.
+func TestDecodeScratchReuse(t *testing.T) {
+	c := Standard()
+	src := rng.New(47)
+	msg := make([]byte, 64)
+	for j := range msg {
+		msg[j] = src.Bit()
+	}
+	recv := diChannel(t, c, msg, 0.03, 0.02, 0.01, 99)
+	dp := DriftParams{Pd: 0.03, Pi: 0.02, Ps: 0.01, MaxDrift: 12}
+	sp := SequentialParams{Pd: 0.03, Pi: 0.02, Ps: 0.01, MaxDrift: 12}
+
+	d1, err1 := c.DecodeDrift(recv, len(msg), dp)
+	s1, e1, serr1 := c.DecodeSequential(recv, len(msg), sp)
+	// Interleave a decode with different geometry to dirty the buffers.
+	other := diChannel(t, c, msg[:20], 0.1, 0.1, 0.05, 7)
+	c.DecodeDrift(other, 20, DriftParams{Pd: 0.1, Pi: 0.1, Ps: 0.05, MaxDrift: 8})
+	c.DecodeSequential(other, 20, SequentialParams{Pd: 0.1, Pi: 0.1, Ps: 0.05, MaxDrift: 8})
+
+	d2, err2 := c.DecodeDrift(recv, len(msg), dp)
+	s2, e2, serr2 := c.DecodeSequential(recv, len(msg), sp)
+	if (err1 == nil) != (err2 == nil) || !bytes.Equal(d1, d2) {
+		t.Fatalf("drift decode changed across scratch reuse")
+	}
+	if (serr1 == nil) != (serr2 == nil) || e1 != e2 || !bytes.Equal(s1, s2) {
+		t.Fatalf("sequential decode changed across scratch reuse")
+	}
+}

@@ -1,0 +1,147 @@
+package conv
+
+import "sync"
+
+// This file holds the pooled decoder scratch shared by DecodeDrift and
+// DecodeSequential: trellis/metric buffers, the branch-metric memo
+// slabs, the sequential decoder's node arena and its inline max-heap.
+// Both decoders are allocation-heavy in their original form (a fresh
+// trellis column and predecessor slab per step, one heap node per
+// expansion); pooling drops that to near-zero steady-state allocation
+// without changing any computed value.
+
+// decodeScratch is the reusable buffer set. A zero value is valid; the
+// grow helpers (re)allocate on demand and decoders must not assume any
+// buffer content survives between uses unless they cleared it.
+type decodeScratch struct {
+	gamma []float64 // inner-DP matrix, flat (n+1)×gw
+	exits []float64 // branch-metric memo slab, rows of width gw
+	have  []bool    // memo occupancy, parallel to exits rows
+	cost  []float64 // drift-trellis column
+	next  []float64 // drift-trellis next column (double buffer)
+	pred  []driftHop
+
+	nextTab  []uint32 // per-(state,bit) next encoder state
+	chunkTab []byte   // per-(state,bit) coded output bits, rows of width n
+	keyTab   []uint16 // per-(state,bit) coded output packed as an integer
+
+	nodes []seqNode
+	heap  []heapEntry
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(decodeScratch) }}
+
+func growFloat(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	return (*buf)[:n]
+}
+
+func growBool(buf *[]bool, n int) []bool {
+	if cap(*buf) < n {
+		*buf = make([]bool, n)
+	}
+	return (*buf)[:n]
+}
+
+func growHop(buf *[]driftHop, n int) []driftHop {
+	if cap(*buf) < n {
+		*buf = make([]driftHop, n)
+	}
+	return (*buf)[:n]
+}
+
+// encoderTables precomputes, for every (state, input bit) pair, the
+// next state, the n coded output bits, and those bits packed MSB-first
+// into an integer key (the memo index). This replaces a stepInto call
+// per visited branch with two table loads.
+func (sc *decodeScratch) encoderTables(c *Code) (nextTab []uint32, chunkTab []byte, keyTab []uint16) {
+	n := len(c.gens)
+	ns := c.numStates()
+	if cap(sc.nextTab) < ns*2 {
+		sc.nextTab = make([]uint32, ns*2)
+		sc.keyTab = make([]uint16, ns*2)
+	}
+	nextTab = sc.nextTab[:ns*2]
+	keyTab = sc.keyTab[:ns*2]
+	if cap(sc.chunkTab) < ns*2*n {
+		sc.chunkTab = make([]byte, ns*2*n)
+	}
+	chunkTab = sc.chunkTab[:ns*2*n]
+	for s := 0; s < ns; s++ {
+		for b := 0; b < 2; b++ {
+			ti := s*2 + b
+			row := chunkTab[ti*n : ti*n+n]
+			nextTab[ti] = c.stepInto(row, uint32(s), byte(b))
+			var key uint16
+			for _, bit := range row {
+				key = key<<1 | uint16(bit)
+			}
+			keyTab[ti] = key
+		}
+	}
+	return nextTab, chunkTab, keyTab
+}
+
+// memoChunkLimit gates the branch-metric memo: the memo is indexed by
+// the packed coded chunk, so it only pays off (and fits) for small n.
+// Beyond the limit decoders recompute each branch, which is exactly the
+// reference behavior.
+const memoChunkLimit = 8
+
+// heapEntry is one element of the sequential decoder's inline max-heap:
+// the node's metric (the sort key, copied here to avoid a pointer chase
+// per comparison) and its index in the node arena.
+type heapEntry struct {
+	metric float64
+	idx    int32
+}
+
+// heapPush and heapPop replicate container/heap's sift algorithms
+// exactly (Less being "greater metric"), so the pop order — including
+// tie resolution, which depends on element positions — is identical to
+// the retained reference decoder's container/heap usage.
+func heapPush(h *[]heapEntry, e heapEntry) {
+	*h = append(*h, e)
+	hp := *h
+	j := len(hp) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(hp[j].metric > hp[i].metric) {
+			break
+		}
+		hp[i], hp[j] = hp[j], hp[i]
+		j = i
+	}
+}
+
+func heapPop(h *[]heapEntry) heapEntry {
+	hp := *h
+	last := len(hp) - 1
+	hp[0], hp[last] = hp[last], hp[0]
+	heapDown(hp[:last])
+	e := hp[last]
+	*h = hp[:last]
+	return e
+}
+
+func heapDown(hp []heapEntry) {
+	n := len(hp)
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && hp[j2].metric > hp[j1].metric {
+			j = j2
+		}
+		if !(hp[j].metric > hp[i].metric) {
+			break
+		}
+		hp[i], hp[j] = hp[j], hp[i]
+		i = j
+	}
+}

@@ -8,8 +8,18 @@ import (
 // DMC is a discrete memoryless channel given by its transition matrix:
 // W[x][y] = P(output y | input x). Rows must be probability
 // distributions over a common output alphabet.
+//
+// The matrix is stored in one contiguous float64 slab (flat) with w
+// holding per-row views into it, so the Blahut–Arimoto inner loops in
+// ba.go stream over dense memory. vals/cls form the distinct-value
+// dictionary those kernels use to hoist math.Log2 out of the per-cell
+// loops; both are nil when the matrix has more than maxValueClasses
+// distinct entries.
 type DMC struct {
-	w [][]float64
+	w    [][]float64
+	flat []float64
+	vals []float64
+	cls  []uint16
 }
 
 // NewDMC validates and wraps a transition matrix. The matrix is copied.
@@ -18,7 +28,7 @@ func NewDMC(w [][]float64) (*DMC, error) {
 		return nil, fmt.Errorf("infotheory: DMC needs at least one input symbol")
 	}
 	ny := len(w[0])
-	cp := make([][]float64, len(w))
+	flat := make([]float64, 0, len(w)*ny)
 	for x, row := range w {
 		if len(row) != ny {
 			return nil, fmt.Errorf("infotheory: DMC row %d has %d entries, want %d", x, len(row), ny)
@@ -26,9 +36,15 @@ func NewDMC(w [][]float64) (*DMC, error) {
 		if err := validateDist(row); err != nil {
 			return nil, fmt.Errorf("infotheory: DMC row %d: %w", x, err)
 		}
-		cp[x] = append([]float64(nil), row...)
+		flat = append(flat, row...)
 	}
-	return &DMC{w: cp}, nil
+	rows := make([][]float64, len(w))
+	for x := range rows {
+		rows[x] = flat[x*ny : x*ny+ny : x*ny+ny]
+	}
+	c := &DMC{w: rows, flat: flat}
+	c.vals, c.cls = buildClasses(flat)
+	return c, nil
 }
 
 // NumInputs returns the input alphabet size.
@@ -68,10 +84,7 @@ func (c *DMC) MutualInformation(px []float64) (float64, error) {
 			}
 		}
 	}
-	if mi < 0 {
-		mi = 0
-	}
-	return mi, nil
+	return nonNegative(mi), nil
 }
 
 // CapacityResult holds the output of the Blahut–Arimoto iteration.
@@ -104,31 +117,12 @@ func (c *DMC) Capacity(tol float64, maxIter int) (CapacityResult, error) {
 	}
 	d := make([]float64, nx) // per-input divergence D(W(.|x) || py)
 	py := make([]float64, ny)
+	logs := make([]float64, c.logsLen())
 
 	var res CapacityResult
 	for iter := 1; iter <= maxIter; iter++ {
-		// Output distribution induced by px.
-		for y := range py {
-			py[y] = 0
-		}
-		for x, row := range c.w {
-			if px[x] == 0 {
-				continue
-			}
-			for y, p := range row {
-				py[y] += px[x] * p
-			}
-		}
-		// d[x] = D(W(.|x) || py) in bits.
-		for x, row := range c.w {
-			var dx float64
-			for y, p := range row {
-				if p > 0 {
-					dx += p * math.Log2(p/py[y])
-				}
-			}
-			d[x] = dx
-		}
+		c.outputDist(px, py)
+		c.divergences(py, logs, d)
 		// Lower bound: I(px) = sum_x px[x] d[x]; upper bound: max_x d[x].
 		var lower float64
 		upper := math.Inf(-1)
@@ -138,7 +132,7 @@ func (c *DMC) Capacity(tol float64, maxIter int) (CapacityResult, error) {
 				upper = d[x]
 			}
 		}
-		res = CapacityResult{Capacity: lower, Iterations: iter, Gap: upper - lower}
+		res = CapacityResult{Capacity: lower, Iterations: iter, Gap: nonNegative(upper - lower)}
 		if res.Gap <= tol {
 			break
 		}
@@ -152,9 +146,7 @@ func (c *DMC) Capacity(tol float64, maxIter int) (CapacityResult, error) {
 			px[x] /= norm
 		}
 	}
-	if res.Capacity < 0 {
-		res.Capacity = 0
-	}
+	res.Capacity = nonNegative(res.Capacity)
 	res.Input = append([]float64(nil), px...)
 	return res, nil
 }
@@ -222,16 +214,18 @@ func MSC(m int, e float64) (*DMC, error) {
 		return nil, fmt.Errorf("infotheory: MSC error rate %v out of [0,1]", e)
 	}
 	w := make([][]float64, m)
+	slab := make([]float64, m*m)
 	off := e / float64(m-1)
 	for x := range w {
-		w[x] = make([]float64, m)
-		for y := range w[x] {
+		row := slab[x*m : x*m+m : x*m+m]
+		for y := range row {
 			if x == y {
-				w[x][y] = 1 - e
+				row[y] = 1 - e
 			} else {
-				w[x][y] = off
+				row[y] = off
 			}
 		}
+		w[x] = row
 	}
 	return NewDMC(w)
 }
