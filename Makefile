@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race race-hostile race-obs fuzz-smoke bench-smoke serve-smoke trace-smoke bench bench-json
+.PHONY: ci fmt vet build test race race-hostile race-obs fuzz-smoke bench-smoke serve-smoke trace-smoke cluster-smoke bench bench-json bench-cluster
 
-ci: fmt vet build test race race-hostile race-obs fuzz-smoke bench-smoke serve-smoke trace-smoke
+ci: fmt vet build test race race-hostile race-obs fuzz-smoke bench-smoke serve-smoke trace-smoke cluster-smoke
 
 # gofmt -l prints offending files; fail if it prints anything.
 fmt:
@@ -36,10 +36,11 @@ race-hostile:
 
 # Focused race pass over the observability layer and its biggest
 # consumers: the registry and tracer are the shared mutable state every
-# other package writes through, and the channel package's word-at-a-time
-# fast path must stay equivalent to the observed per-use path.
+# other package writes through, the channel package's word-at-a-time
+# fast path must stay equivalent to the observed per-use path, and the
+# cluster router races hedges against primaries by design.
 race-obs:
-	$(GO) test -race ./internal/obs/... ./internal/capserver/... ./internal/channel/...
+	$(GO) test -race ./internal/obs/... ./internal/capserver/... ./internal/channel/... ./internal/cluster/...
 
 # 30 seconds per native fuzz target: the Definition 1 trace invariants
 # and the fault-spec grammar. Regressions the unit corpus misses show
@@ -58,11 +59,23 @@ bench-smoke:
 	$(GO) run ./cmd/kernelbench -smoke -out "$$tmp" && \
 	$(GO) run ./cmd/kernelbench -check "$$tmp" && \
 	$(GO) run ./cmd/kernelbench -check BENCH_kernels.json
+	$(GO) run ./cmd/capload -mode cluster-check BENCH_cluster.json
 
 # Serving gate: boot a capserver in-process on an ephemeral port, hit
 # every endpoint, assert 200 + well-formed JSON, shut down cleanly.
 serve-smoke:
 	$(GO) run ./cmd/capload -selfhost -mode smoke
+
+# Cluster gate: a seeded 3-node kill/restart fault run over a shared
+# result store. -assert fails the run unless every response is
+# byte-identical to a single-node oracle, the restarted node serves the
+# run's unique points as pure cache traffic (LRU or store, never a
+# recompute), and the fault machinery actually engaged (hedge, retry
+# and degraded counters all nonzero).
+cluster-smoke:
+	$(GO) run ./cmd/capload -mode cluster -cluster n1,n2,n3 \
+		-requests 90 -unique 8 -exact-n 8 \
+		-kill-after 30 -restart-after 60 -assert
 
 # Observability gate: record a seeded channel-use trace with chansim,
 # re-estimate (Pd, Pi, Ps) from it with tracecap, and assert the
@@ -83,3 +96,11 @@ bench:
 # their retained reference implementations.
 bench-json:
 	$(GO) run ./cmd/kernelbench -out BENCH_kernels.json
+
+# Full cluster fault run: rewrites BENCH_cluster.json, the committed
+# record of the 3-node kill/restart harness (routing counters, oracle
+# byte identity, post-restart convergence).
+bench-cluster:
+	$(GO) run ./cmd/capload -mode cluster -cluster n1,n2,n3 \
+		-requests 240 -unique 12 -exact-n 8 -assert \
+		-bench-out BENCH_cluster.json

@@ -13,9 +13,25 @@
 //	                                     # median latency benchmark
 //	capload -addr http://127.0.0.1:8080 -mode load -requests 2000 -c 16
 //
+//	capload -mode cluster -cluster n1,n2,n3 \
+//	        -kill-after 60 -restart-after 130 -assert \
+//	        -bench-out BENCH_cluster.json
+//	                                     # stand up an in-process
+//	                                     # 3-node cluster over a shared
+//	                                     # result store, kill and
+//	                                     # restart a node mid-run,
+//	                                     # assert byte identity vs a
+//	                                     # single-node oracle and
+//	                                     # post-restart convergence
+//	capload -mode cluster-check BENCH_cluster.json
+//	                                     # validate a committed
+//	                                     # trajectory file
+//
 // The request sequence (endpoints, parameter points, order) is a pure
 // function of -seed, so two runs against equivalent servers issue the
-// same workload.
+// same workload; in cluster mode the dispatch choices and the
+// kill/restart schedule are seeded too, so a failing fault run replays
+// bit-for-bit.
 package main
 
 import (
@@ -29,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/capserver"
+	"repro/internal/cluster"
 )
 
 func main() {
@@ -57,9 +74,52 @@ func run(args []string, out *os.File) error {
 		workers  = fs.Int("workers", 0, "selfhost: compute workers (0 = GOMAXPROCS)")
 		queue    = fs.Int("queue", 64, "selfhost: compute queue depth")
 		cacheSz  = fs.Int("cache", 1024, "selfhost: LRU cache entries")
+
+		clusterFlag = fs.String("cluster", "n1,n2,n3", "cluster mode: comma-separated member names")
+		killAfter   = fs.Int("kill-after", 0, "cluster mode: kill a node before this request index (0 = requests/3, negative = no fault)")
+		restart     = fs.Int("restart-after", 0, "cluster mode: restart the killed node before this request index (0 = 2*requests/3, negative = leave it down)")
+		killNode    = fs.String("kill-node", "", "cluster mode: member to kill (default: middle of sorted names)")
+		hedge       = fs.Duration("hedge", 0, "cluster mode: hedge delay (0 = 5ms, negative = no hedging)")
+		storeDir    = fs.String("store", "", "cluster mode: shared result-store directory (default: fresh temp dir)")
+		benchOut    = fs.String("bench-out", "", "cluster mode: write a BENCH_cluster.json trajectory here")
+		assert      = fs.Bool("assert", false, "cluster mode: fail on any harness assertion (byte identity, convergence, fault counters)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	switch *mode {
+	case "cluster":
+		return runCluster(clusterOptions{
+			names:        strings.Split(*clusterFlag, ","),
+			requests:     *requests,
+			seed:         *seed,
+			unique:       *unique,
+			exactN:       *exactN,
+			killAfter:    *killAfter,
+			restartAfter: *restart,
+			killNode:     *killNode,
+			hedge:        *hedge,
+			storeDir:     *storeDir,
+			workers:      *workers,
+			queue:        *queue,
+			cacheSz:      *cacheSz,
+			benchOut:     *benchOut,
+			assert:       *assert,
+		}, out)
+	case "cluster-check":
+		path := *benchOut
+		if fs.NArg() > 0 {
+			path = fs.Arg(0)
+		}
+		if path == "" {
+			return fmt.Errorf("cluster-check needs a trajectory file (positional or -bench-out)")
+		}
+		if err := cluster.CheckTrajectory(path); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "cluster-check: %s ok\n", path)
+		return nil
 	}
 
 	base := strings.TrimRight(*addr, "/")
@@ -122,8 +182,75 @@ func run(args []string, out *os.File) error {
 		report.Format(out)
 		return nil
 	default:
-		return fmt.Errorf("unknown mode %q (want load, smoke or bench-cache)", *mode)
+		return fmt.Errorf("unknown mode %q (want load, smoke, bench-cache, cluster or cluster-check)", *mode)
 	}
+}
+
+// clusterOptions carries the cluster-mode flag values.
+type clusterOptions struct {
+	names                   []string
+	requests                int
+	seed                    uint64
+	unique, exactN          int
+	killAfter, restartAfter int
+	killNode                string
+	hedge                   time.Duration
+	storeDir                string
+	workers, queue, cacheSz int
+	benchOut                string
+	assert                  bool
+}
+
+// runCluster drives the multi-node fault harness and optionally writes
+// the trajectory file.
+func runCluster(o clusterOptions, out *os.File) error {
+	names := make([]string, 0, len(o.names))
+	for _, n := range o.names {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	if len(names) < 2 {
+		return fmt.Errorf("-cluster %q names fewer than 2 members", strings.Join(o.names, ","))
+	}
+	ho := cluster.HarnessOptions{
+		Nodes:        names,
+		Requests:     o.requests,
+		Seed:         o.seed,
+		Unique:       o.unique,
+		ExactN:       o.exactN,
+		KillNode:     o.killNode,
+		KillAfter:    o.killAfter,
+		RestartAfter: o.restartAfter,
+		HedgeDelay:   o.hedge,
+		StoreDir:     o.storeDir,
+		Workers:      o.workers,
+		QueueDepth:   o.queue,
+		CacheEntries: o.cacheSz,
+		Out:          out,
+	}
+	rep, err := cluster.RunHarness(ho)
+	if err != nil {
+		return err
+	}
+	rep.Format(out)
+	if o.benchOut != "" {
+		mode := "full"
+		if o.requests < 200 {
+			mode = "smoke"
+		}
+		if err := cluster.WriteTrajectory(o.benchOut, cluster.BuildTrajectory(mode, ho, rep)); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", o.benchOut)
+	}
+	if o.assert {
+		if err := rep.Assert(); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "cluster-assert: byte identity, convergence and fault counters all hold")
+	}
+	return nil
 }
 
 // parseMix parses "bounds=0.7,predict=0.2,simulate=0.1".

@@ -1,16 +1,26 @@
 // Command capserverd serves the repository's capacity-estimation
 // kernels over HTTP (see internal/capserver and DESIGN.md §8):
 // /v1/bounds, /v1/predict, /v1/simulate, /v1/experiments, plus
-// /healthz, /metrics and /debug/pprof.
+// /healthz, /v1/healthz, /v1/readyz, /metrics and /debug/pprof.
 //
 // Usage:
 //
 //	capserverd -addr 127.0.0.1:8080
 //	capserverd -addr 127.0.0.1:0 -workers 8 -queue 128 -cache 4096
 //
-// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
-// in-flight requests complete (bounded by -drain), and every admitted
-// computation finishes.
+// With -cluster the daemon joins a static capserver cluster (DESIGN.md
+// §11): shardable requests it does not own are forwarded to their
+// owner on a consistent-hash ring, with hedging, bounded retry and
+// degradation to local compute; -store points every member at a shared
+// content-addressed result store so any node serves any cached point
+// and a restarted node warm-starts from disk:
+//
+//	capserverd -addr 127.0.0.1:8081 -self n1 -store /var/cache/capest \
+//	           -cluster n1=http://10.0.0.1:8081,n2=http://10.0.0.2:8081,n3=http://10.0.0.3:8081
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: /v1/readyz flips to 503
+// immediately, the listener closes, in-flight requests complete
+// (bounded by -drain), and every admitted computation finishes.
 package main
 
 import (
@@ -26,6 +36,9 @@ import (
 	"time"
 
 	"repro/internal/capserver"
+	"repro/internal/cluster"
+	"repro/internal/cluster/casstore"
+	"repro/internal/obs"
 )
 
 // onListen, when non-nil, observes the bound address (tests hook it to
@@ -52,17 +65,66 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 		timeout = fs.Duration("timeout", 30*time.Second, "per-request deadline")
 		drain   = fs.Duration("drain", 30*time.Second, "graceful shutdown budget")
 		maxSym  = fs.Int("max-symbols", 200000, "largest simulate/experiment message length served")
+
+		storeDir    = fs.String("store", "", "content-addressed result store directory (shared across cluster members)")
+		clusterFlag = fs.String("cluster", "", "static cluster membership: n1=http://host1:8081,n2=http://host2:8081,...")
+		self        = fs.String("self", "", "this node's member name within -cluster")
+		hedgeDelay  = fs.Duration("hedge-delay", 0, "forwarding hedge delay (0 = default, negative = no hedging)")
+		peerRetries = fs.Int("peer-retries", 0, "attempts against a peer before giving up (0 = default)")
+		peerBackoff = fs.Duration("peer-backoff", 0, "base backoff between peer retries (0 = default)")
+		vnodes      = fs.Int("vnodes", 0, "virtual nodes per ring member (0 = default; must match across the cluster)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	srv := capserver.New(capserver.Config{
+	if (*clusterFlag == "") != (*self == "") {
+		return fmt.Errorf("-cluster and -self must be set together")
+	}
+
+	reg := obs.NewRegistry()
+	cfg := capserver.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cache,
 		RequestTimeout: *timeout,
 		MaxSymbols:     *maxSym,
-	})
+		Metrics:        reg,
+	}
+	if *storeDir != "" {
+		st, err := casstore.Open(*storeDir)
+		if err != nil {
+			return err
+		}
+		cfg.Store = st
+		fmt.Fprintf(logw, "capserverd: result store at %s\n", st.Dir())
+	}
+	srv := capserver.New(cfg)
+
+	// In cluster mode an outer http.Server carries the node router in
+	// front of the capserver mux; standalone, capserver serves itself.
+	handler := srv.Handler()
+	if *clusterFlag != "" {
+		mem, err := cluster.ParseMembership(*clusterFlag)
+		if err != nil {
+			return err
+		}
+		node, err := cluster.NewNode(srv, cluster.Config{
+			Self:         *self,
+			Membership:   mem,
+			VirtualNodes: *vnodes,
+			HedgeDelay:   *hedgeDelay,
+			PeerAttempts: *peerRetries,
+			PeerBackoff:  *peerBackoff,
+			Metrics:      cluster.NewMetrics(reg),
+		})
+		if err != nil {
+			return err
+		}
+		handler = node.Handler()
+		fmt.Fprintf(logw, "capserverd: cluster member %s of %v\n", *self, mem.Names())
+	}
+	outer := &http.Server{Handler: handler}
+
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -73,15 +135,23 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 	}
 
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- srv.Serve(l) }()
+	go func() { serveErr <- outer.Serve(l) }()
 	select {
 	case err := <-serveErr:
 		return err
 	case <-ctx.Done():
 	}
 	fmt.Fprintf(logw, "capserverd: shutting down (draining up to %v)\n", *drain)
+	// Drain order: flip readiness first so balancers stop sending,
+	// then drain the outer listener's in-flight requests, then the
+	// worker pool (srv.Shutdown also closes capserver's own unserved
+	// http server, a no-op here).
+	srv.StartDrain()
 	sctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	if err := outer.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
 	if err := srv.Shutdown(sctx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}

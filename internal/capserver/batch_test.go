@@ -193,15 +193,30 @@ func TestBatchBackpressure(t *testing.T) {
 	}
 	wg.Wait()
 
-	// Once the pool drains, the same batch succeeds.
-	status, _, body = postJSON(t, ts.URL, "/v1/bounds:batch",
-		`{"points":[{"n":4,"pd":0.41},{"n":4,"pd":0.42},{"n":4,"pd":0.43}]}`)
-	if status != http.StatusOK {
-		t.Fatalf("post-drain batch status %d: %s", status, body)
-	}
+	// Once the pool drains, the batch succeeds — possibly over two
+	// attempts, because 3 concurrent points can still outnumber a
+	// 1-worker depth-1 pool for an instant. Per-point failures are
+	// marked retryable, and retrying is the documented client
+	// contract: already-computed points come back as cache hits, so
+	// the retry only pays for the rejected point.
 	var resp BatchResponse
-	if err := json.Unmarshal(body, &resp); err != nil {
-		t.Fatal(err)
+	for attempt := 0; ; attempt++ {
+		status, _, body = postJSON(t, ts.URL, "/v1/bounds:batch",
+			`{"points":[{"n":4,"pd":0.41},{"n":4,"pd":0.42},{"n":4,"pd":0.43}]}`)
+		if status != http.StatusOK {
+			t.Fatalf("post-drain batch status %d: %s", status, body)
+		}
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Succeeded == 3 || attempt == 3 {
+			break
+		}
+		for _, r := range resp.Results {
+			if !r.OK && !r.Retryable {
+				t.Fatalf("post-drain point failed non-retryably: %+v", r)
+			}
+		}
 	}
 	if resp.Succeeded != 3 {
 		t.Errorf("post-drain envelope %+v, want 3 successes", resp)

@@ -3,6 +3,7 @@ package capserver
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 )
 
 // flight is one in-flight computation. body and err are written
@@ -12,7 +13,19 @@ type flight struct {
 	done chan struct{}
 	body []byte
 	err  error
+	// waiters counts requests still interested in the result: the
+	// leader plus every joined request, each decremented when its
+	// request context ends before the flight completes. A queued
+	// compute job that finds zero waiters skips the computation, so
+	// abandoned requests stop costing worker time.
+	waiters atomic.Int32
 }
+
+// abandon withdraws one request's interest in the flight.
+func (f *flight) abandon() { f.waiters.Add(-1) }
+
+// abandoned reports whether no request is waiting for the result.
+func (f *flight) abandoned() bool { return f.waiters.Load() <= 0 }
 
 // cacheEntry is one completed result in the LRU list.
 type cacheEntry struct {
@@ -65,9 +78,11 @@ func (c *flightCache) lookupOrJoin(key string) (body []byte, fl *flight, leader 
 		return el.Value.(*cacheEntry).body, nil, false
 	}
 	if fl, ok := c.inflight[key]; ok {
+		fl.waiters.Add(1)
 		return nil, fl, false
 	}
 	fl = &flight{done: make(chan struct{})}
+	fl.waiters.Store(1)
 	c.inflight[key] = fl
 	return nil, fl, true
 }

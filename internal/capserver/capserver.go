@@ -41,10 +41,26 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
 )
+
+// ResultStore is a secondary, durable result cache behind the LRU: a
+// miss consults the store before computing, and every successful
+// computation is written through. Implementations must be safe for
+// concurrent use; Put is best-effort (a failed write costs a future
+// recompute, never a wrong answer). The cluster layer plugs its
+// content-addressed on-disk store (internal/cluster/casstore) in here,
+// which is what lets a restarted node warm-start from disk and lets
+// any node sharing the store serve any cached point.
+type ResultStore interface {
+	// Get returns the stored response body for a canonical cache key.
+	Get(key string) ([]byte, bool)
+	// Put stores the response body for a canonical cache key.
+	Put(key string, body []byte)
+}
 
 // Config tunes the serving core. The zero value selects workable
 // defaults.
@@ -74,6 +90,9 @@ type Config struct {
 	// /metrics page for the service and its own instrumentation. Nil
 	// gets a private registry.
 	Metrics *obs.Registry
+	// Store, when non-nil, is the durable result store consulted on
+	// LRU misses and populated on computes (see ResultStore).
+	Store ResultStore
 }
 
 // withDefaults fills unset fields.
@@ -104,12 +123,14 @@ func (c Config) withDefaults() Config {
 
 // Server is the capacity-estimation service.
 type Server struct {
-	cfg     Config
-	mux     *http.ServeMux
-	httpSrv *http.Server
-	pool    *workerPool
-	cache   *flightCache
-	metrics *Metrics
+	cfg      Config
+	mux      *http.ServeMux
+	httpSrv  *http.Server
+	pool     *workerPool
+	cache    *flightCache
+	metrics  *Metrics
+	store    ResultStore
+	draining atomic.Bool
 }
 
 // New builds a Server with the given configuration.
@@ -121,8 +142,11 @@ func New(cfg Config) *Server {
 		pool:    newWorkerPool(cfg.Workers, cfg.QueueDepth),
 		cache:   newFlightCache(cfg.CacheEntries),
 		metrics: newMetrics(cfg.Metrics),
+		store:   cfg.Store,
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /v1/bounds", s.handleCompute("bounds", s.buildBounds))
 	s.mux.HandleFunc("POST /v1/bounds:batch", s.handleBoundsBatch)
 	s.mux.HandleFunc("GET /v1/predict", s.handleCompute("predict", s.buildPredict))
@@ -150,11 +174,22 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // http.ErrServerClosed after a clean shutdown, like net/http.
 func (s *Server) Serve(l net.Listener) error { return s.httpSrv.Serve(l) }
 
-// Shutdown gracefully stops the server: it stops accepting new
-// connections, waits (up to ctx) for in-flight handlers to complete,
-// then drains and stops the worker pool so every admitted computation
-// finishes before Shutdown returns.
+// StartDrain flips readiness: /v1/readyz answers 503 from this moment
+// on, so load balancers and cluster peers stop routing new work here
+// while in-flight requests complete. Shutdown calls it first; an
+// embedding process driving its own http.Server (the cluster daemon)
+// calls it before that server's Shutdown for the same ordering.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown gracefully stops the server: it flips readiness, stops
+// accepting new connections, waits (up to ctx) for in-flight handlers
+// to complete, then drains and stops the worker pool so every admitted
+// computation finishes before Shutdown returns.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.StartDrain()
 	err := s.httpSrv.Shutdown(ctx)
 	// By now no handler can submit new work; drain what was admitted.
 	s.pool.close()
@@ -164,6 +199,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // errQueueFull is the backpressure verdict: the compute queue is full
 // and the request was not admitted.
 var errQueueFull = errors.New("capserver: compute queue full, retry later")
+
+// errAbandoned reports that every request waiting on a flight went
+// away before a worker picked its computation up, so the computation
+// was skipped. Only a request that joined the flight in the narrow
+// window after the last waiter left can observe it; retrying computes
+// fresh.
+var errAbandoned = errors.New("capserver: request abandoned before compute started, retry")
 
 // buildFunc validates one endpoint's query parameters and returns the
 // request's canonical cache key plus the deferred computation that
@@ -195,6 +237,9 @@ func (s *Server) handleCompute(endpoint string, build buildFunc) http.HandlerFun
 		case errors.Is(err, errQueueFull):
 			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
 			s.finish(w, endpoint, start, http.StatusTooManyRequests, errorBody(err), "")
+		case errors.Is(err, errAbandoned):
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+			s.finish(w, endpoint, start, http.StatusServiceUnavailable, errorBody(err), "")
 		case errors.Is(err, context.DeadlineExceeded):
 			s.finish(w, endpoint, start, http.StatusGatewayTimeout, errorBody(err), "")
 		case errors.Is(err, context.Canceled):
@@ -208,43 +253,69 @@ func (s *Server) handleCompute(endpoint string, build buildFunc) http.HandlerFun
 }
 
 // do resolves one computation: cache hit, joining an in-flight
-// identical computation, or leading a new one through the worker pool.
-// source is "hit", "shared" or "miss" respectively.
+// identical computation, leading one resolved from the durable store,
+// or leading a fresh computation through the worker pool. source is
+// "hit", "shared", "store" or "miss" respectively. A request whose
+// context ends first withdraws from the flight; when every waiter has
+// withdrawn before a worker picks the job up, the computation is
+// skipped entirely.
 func (s *Server) do(ctx context.Context, endpoint, key string, compute func() ([]byte, error)) (body []byte, source string, err error) {
 	cached, fl, leader := s.cache.lookupOrJoin(key)
 	if cached != nil {
 		s.metrics.cacheHit()
 		return cached, "hit", nil
 	}
+	stored := false
 	if leader {
 		s.metrics.cacheMiss()
-		job := func() {
-			defer func() {
-				if r := recover(); r != nil {
-					s.metrics.computePanic()
-					s.cache.finish(key, fl, nil, fmt.Errorf("capserver: %s compute panic: %v", endpoint, r))
-				}
-			}()
-			s.metrics.computeStart(endpoint)
-			b, cerr := compute()
-			s.cache.finish(key, fl, b, cerr)
+		if s.store != nil {
+			if b, ok := s.store.Get(key); ok {
+				s.metrics.storeHit()
+				s.cache.finish(key, fl, b, nil)
+				stored = true
+			}
 		}
-		if !s.pool.trySubmit(job) {
-			s.metrics.queueRejected()
-			s.cache.finish(key, fl, nil, errQueueFull)
+		if !stored {
+			job := func() {
+				if fl.abandoned() {
+					s.metrics.computeAbandoned()
+					s.cache.finish(key, fl, nil, errAbandoned)
+					return
+				}
+				defer func() {
+					if r := recover(); r != nil {
+						s.metrics.computePanic()
+						s.cache.finish(key, fl, nil, fmt.Errorf("capserver: %s compute panic: %v", endpoint, r))
+					}
+				}()
+				s.metrics.computeStart(endpoint)
+				b, cerr := compute()
+				if cerr == nil && s.store != nil {
+					s.store.Put(key, b)
+				}
+				s.cache.finish(key, fl, b, cerr)
+			}
+			if !s.pool.trySubmit(job) {
+				s.metrics.queueRejected()
+				s.cache.finish(key, fl, nil, errQueueFull)
+			}
 		}
 	} else {
 		s.metrics.cacheShared()
 	}
 	select {
 	case <-fl.done:
-		if leader {
+		switch {
+		case stored:
+			source = "store"
+		case leader:
 			source = "miss"
-		} else {
+		default:
 			source = "shared"
 		}
 		return fl.body, source, fl.err
 	case <-ctx.Done():
+		fl.abandon()
 		return nil, "", ctx.Err()
 	}
 }
@@ -260,9 +331,61 @@ func (s *Server) finish(w http.ResponseWriter, endpoint string, start time.Time,
 	s.metrics.observe(endpoint, status, time.Since(start))
 }
 
-// handleHealthz reports liveness.
+// handleHealthz reports liveness: the process is up and serving its
+// mux. It stays 200 through a drain — liveness and readiness diverge
+// exactly there, which is why both exist.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.finish(w, "healthz", time.Now(), http.StatusOK, []byte(`{"status":"ok"}`+"\n"), "")
+}
+
+// handleReadyz reports readiness to take new work: 200 while serving,
+// 503 from the moment drain begins. Load balancers and cluster peers
+// key routing off this, so the flip happens at StartDrain — before any
+// connection is refused — giving upstreams a clean signal to fail over.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.finish(w, "readyz", time.Now(), http.StatusServiceUnavailable, []byte(`{"status":"draining"}`+"\n"), "")
+		return
+	}
+	s.finish(w, "readyz", time.Now(), http.StatusOK, []byte(`{"status":"ready"}`+"\n"), "")
+}
+
+// Canonicalize maps a request onto the serving core's canonical cache
+// key: the exact string the LRU, singleflight and durable store key
+// on, with endpoint prefix ("bounds?n=4&pd=0.2&..."). It reports
+// ok=false for requests that are not shardable pure functions of their
+// parameters — non-GET methods, operational pages, the experiments
+// catalog — and for requests that fail parameter validation (the local
+// handler will produce the 400). The cluster router uses this to place
+// requests on the consistent-hash ring without computing anything.
+func (s *Server) Canonicalize(r *http.Request) (key string, ok bool) {
+	if r.Method != http.MethodGet {
+		return "", false
+	}
+	var endpoint string
+	var build buildFunc
+	switch r.URL.Path {
+	case "/v1/bounds":
+		endpoint, build = "bounds", s.buildBounds
+	case "/v1/predict":
+		endpoint, build = "predict", s.buildPredict
+	case "/v1/simulate":
+		endpoint, build = "simulate", s.buildSimulate
+	case "/v1/trace":
+		endpoint, build = "trace", s.buildTrace
+	case "/v1/experiments":
+		if r.URL.Query().Get("id") == "" {
+			return "", false
+		}
+		endpoint, build = "experiments", s.buildExperimentsRun
+	default:
+		return "", false
+	}
+	k, _, err := build(queryValues{r.URL.Query()})
+	if err != nil {
+		return "", false
+	}
+	return endpoint + "?" + k, true
 }
 
 // handleMetrics renders the counters, gauges and latency quantiles.

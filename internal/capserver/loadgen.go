@@ -172,6 +172,31 @@ type request struct {
 	url      string
 }
 
+// PlannedRequest is one request of a deterministic plan as a
+// server-relative path, for harnesses that dispatch one plan across
+// several servers (the cluster fault harness).
+type PlannedRequest struct {
+	Endpoint string
+	Path     string
+}
+
+// PlanPaths derives the deterministic request sequence from
+// o.Seed/o.Requests/o.Unique/o.Mix as server-relative paths. It is the
+// same plan RunLoad issues: two consumers with equal options replay
+// the identical workload.
+func PlanPaths(o LoadOptions) []PlannedRequest {
+	o = o.withDefaults()
+	base := o.BaseURL
+	o.BaseURL = ""
+	reqs := planRequests(o)
+	o.BaseURL = base
+	out := make([]PlannedRequest, len(reqs))
+	for i, r := range reqs {
+		out[i] = PlannedRequest{Endpoint: r.endpoint, Path: r.url}
+	}
+	return out
+}
+
 // planRequests derives the full request sequence from the seed.
 func planRequests(o LoadOptions) []request {
 	endpoints := make([]string, 0, len(o.Mix))

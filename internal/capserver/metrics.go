@@ -16,19 +16,21 @@ import (
 // has always used, so /metrics output is byte-identical to the
 // pre-registry implementation.
 type Metrics struct {
-	reg      *obs.Registry
-	requests *obs.CounterVec
-	computes *obs.CounterVec
-	panics   *obs.Counter
-	hits     *obs.Counter
-	misses   *obs.Counter
-	shared   *obs.Counter
-	entries  *obs.Gauge
-	evicted  *obs.Gauge
-	inflight *obs.Gauge
-	depth    *obs.Gauge
-	rejected *obs.Counter
-	latency  *obs.LatencyVec
+	reg       *obs.Registry
+	requests  *obs.CounterVec
+	computes  *obs.CounterVec
+	panics    *obs.Counter
+	abandoned *obs.Counter
+	hits      *obs.Counter
+	misses    *obs.Counter
+	shared    *obs.Counter
+	stores    *obs.Counter
+	entries   *obs.Gauge
+	evicted   *obs.Gauge
+	inflight  *obs.Gauge
+	depth     *obs.Gauge
+	rejected  *obs.Counter
+	latency   *obs.LatencyVec
 }
 
 // newMetrics registers the service's metric families on reg (a nil reg
@@ -38,19 +40,21 @@ func newMetrics(reg *obs.Registry) *Metrics {
 		reg = obs.NewRegistry()
 	}
 	return &Metrics{
-		reg:      reg,
-		requests: reg.CounterVec("capserver_requests_total", "endpoint", "code"),
-		computes: reg.CounterVec("capserver_compute_total", "endpoint"),
-		panics:   reg.Counter("capserver_compute_panics_total"),
-		hits:     reg.Counter("capserver_cache_hits_total"),
-		misses:   reg.Counter("capserver_cache_misses_total"),
-		shared:   reg.Counter("capserver_cache_shared_total"),
-		entries:  reg.Gauge("capserver_cache_entries"),
-		evicted:  reg.Gauge("capserver_cache_evictions_total"),
-		inflight: reg.Gauge("capserver_cache_inflight"),
-		depth:    reg.Gauge("capserver_queue_depth"),
-		rejected: reg.Counter("capserver_queue_rejected_total"),
-		latency:  reg.LatencyVec("capserver_latency_ms", "endpoint"),
+		reg:       reg,
+		requests:  reg.CounterVec("capserver_requests_total", "endpoint", "code"),
+		computes:  reg.CounterVec("capserver_compute_total", "endpoint"),
+		panics:    reg.Counter("capserver_compute_panics_total"),
+		abandoned: reg.Counter("capserver_compute_abandoned_total"),
+		hits:      reg.Counter("capserver_cache_hits_total"),
+		misses:    reg.Counter("capserver_cache_misses_total"),
+		shared:    reg.Counter("capserver_cache_shared_total"),
+		stores:    reg.Counter("capserver_store_hits_total"),
+		entries:   reg.Gauge("capserver_cache_entries"),
+		evicted:   reg.Gauge("capserver_cache_evictions_total"),
+		inflight:  reg.Gauge("capserver_cache_inflight"),
+		depth:     reg.Gauge("capserver_queue_depth"),
+		rejected:  reg.Counter("capserver_queue_rejected_total"),
+		latency:   reg.LatencyVec("capserver_latency_ms", "endpoint"),
 	}
 }
 
@@ -78,11 +82,13 @@ func (m *Metrics) Requests(endpoint string, status int) int64 {
 	return m.requests.Value(endpoint, strconv.Itoa(status))
 }
 
-func (m *Metrics) cacheHit()      { m.hits.Inc() }
-func (m *Metrics) cacheMiss()     { m.misses.Inc() }
-func (m *Metrics) cacheShared()   { m.shared.Inc() }
-func (m *Metrics) queueRejected() { m.rejected.Inc() }
-func (m *Metrics) computePanic()  { m.panics.Inc() }
+func (m *Metrics) cacheHit()         { m.hits.Inc() }
+func (m *Metrics) cacheMiss()        { m.misses.Inc() }
+func (m *Metrics) cacheShared()      { m.shared.Inc() }
+func (m *Metrics) storeHit()         { m.stores.Inc() }
+func (m *Metrics) queueRejected()    { m.rejected.Inc() }
+func (m *Metrics) computePanic()     { m.panics.Inc() }
+func (m *Metrics) computeAbandoned() { m.abandoned.Inc() }
 
 // CacheHits returns the number of requests served from the LRU cache.
 func (m *Metrics) CacheHits() int64 { return m.hits.Value() }
@@ -90,6 +96,14 @@ func (m *Metrics) CacheHits() int64 { return m.hits.Value() }
 // CacheShared returns the number of requests that joined an in-flight
 // identical computation instead of recomputing.
 func (m *Metrics) CacheShared() int64 { return m.shared.Value() }
+
+// StoreHits returns the number of LRU misses resolved from the
+// durable result store instead of recomputing.
+func (m *Metrics) StoreHits() int64 { return m.stores.Value() }
+
+// Abandoned returns the number of queued computations skipped because
+// every waiting request went away first.
+func (m *Metrics) Abandoned() int64 { return m.abandoned.Value() }
 
 // QueueRejected returns the number of requests rejected with 429.
 func (m *Metrics) QueueRejected() int64 { return m.rejected.Value() }

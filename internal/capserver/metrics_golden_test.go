@@ -7,11 +7,11 @@ import (
 )
 
 // TestMetricsExpositionGolden locks the /metrics exposition format:
-// the refactor onto the shared obs registry must keep every
-// pre-existing series byte-identical (names, label order, quantile
-// formatting, bucket boundaries). The golden bytes below were captured
-// from the pre-registry Metrics implementation over this exact event
-// sequence.
+// every pre-existing series must stay byte-identical (names, label
+// order, quantile formatting, bucket boundaries). The golden bytes
+// below were captured from the pre-registry Metrics implementation
+// over this exact event sequence; the cluster PR appended the
+// compute_abandoned and store_hits families in place.
 func TestMetricsExpositionGolden(t *testing.T) {
 	m := newMetrics(nil)
 	m.observe("bounds", 200, 5*time.Millisecond)
@@ -26,8 +26,10 @@ func TestMetricsExpositionGolden(t *testing.T) {
 	m.cacheMiss()
 	m.cacheMiss()
 	m.cacheShared()
+	m.storeHit()
 	m.queueRejected()
 	m.computePanic()
+	m.computeAbandoned()
 
 	var buf bytes.Buffer
 	m.write(&buf, CacheStats{Entries: 2, Evictions: 1, Inflight: 0}, 3)
@@ -39,9 +41,11 @@ capserver_requests_total{endpoint="simulate",code="200"} 1
 capserver_compute_total{endpoint="bounds"} 2
 capserver_compute_total{endpoint="simulate"} 1
 capserver_compute_panics_total 1
+capserver_compute_abandoned_total 1
 capserver_cache_hits_total 1
 capserver_cache_misses_total 2
 capserver_cache_shared_total 1
+capserver_store_hits_total 1
 capserver_cache_entries 2
 capserver_cache_evictions_total 1
 capserver_cache_inflight 0

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// BenchSchema is BENCH_cluster.json's format tag. Bump on layout
+// changes.
+const BenchSchema = "capest/bench-cluster/v1"
+
+// Trajectory is the BENCH_cluster.json document: one harness run's
+// configuration, fault schedule, routing counters and outcome, written
+// by `capload -mode cluster -bench-out` and validated by
+// `capload -mode cluster-check` in the bench-smoke gate. Like
+// BENCH_kernels.json it is a committed record of where the system's
+// behaviour stands, machine-checkable by CI.
+type Trajectory struct {
+	Schema string `json:"schema"`
+	Go     string `json:"go"`
+	Mode   string `json:"mode"`
+
+	Nodes        []string `json:"nodes"`
+	Requests     int      `json:"requests"`
+	Seed         uint64   `json:"seed"`
+	Unique       int      `json:"unique"`
+	ExactN       int      `json:"exact_n"`
+	Killed       string   `json:"killed,omitempty"`
+	KillAfter    int      `json:"kill_after"`
+	RestartAfter int      `json:"restart_after"`
+	HedgeDelayMS float64  `json:"hedge_delay_ms"`
+
+	WallMS     float64 `json:"wall_ms"`
+	Throughput float64 `json:"throughput_rps"`
+	Failovers  int     `json:"failovers"`
+	Mismatches int     `json:"mismatches"`
+
+	PerNode      []NodeCounters `json:"per_node"`
+	Totals       NodeCounters   `json:"totals"`
+	Convergence  Convergence    `json:"convergence"`
+	StoreEntries int            `json:"store_entries"`
+	Passed       bool           `json:"passed"`
+}
+
+// BuildTrajectory assembles the document from a finished run.
+func BuildTrajectory(mode string, o HarnessOptions, rep *HarnessReport) *Trajectory {
+	o = o.withDefaults()
+	return &Trajectory{
+		Schema:       BenchSchema,
+		Go:           runtime.Version(),
+		Mode:         mode,
+		Nodes:        o.Nodes,
+		Requests:     rep.Requests,
+		Seed:         o.Seed,
+		Unique:       o.Unique,
+		ExactN:       o.ExactN,
+		Killed:       rep.Killed,
+		KillAfter:    o.KillAfter,
+		RestartAfter: o.RestartAfter,
+		HedgeDelayMS: float64(o.HedgeDelay) / float64(time.Millisecond),
+		WallMS:       float64(rep.Wall) / float64(time.Millisecond),
+		Throughput:   rep.Throughput(),
+		Failovers:    rep.Failovers,
+		Mismatches:   rep.Mismatches,
+		PerNode:      rep.Nodes,
+		Totals:       rep.Totals(),
+		Convergence:  rep.Convergence,
+		StoreEntries: rep.StoreEntries,
+		Passed:       rep.Assert() == nil,
+	}
+}
+
+// WriteTrajectory writes the document as indented JSON.
+func WriteTrajectory(path string, t *Trajectory) error {
+	b, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// CheckTrajectory validates an existing trajectory file: it must
+// parse, carry the current schema tag, and record a passing run — the
+// committed BENCH_cluster.json must never describe a cluster that
+// failed its own byte-identity or convergence assertions.
+func CheckTrajectory(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var t Trajectory
+	if err := json.Unmarshal(raw, &t); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if t.Schema != BenchSchema {
+		return fmt.Errorf("%s: schema %q, want %q", path, t.Schema, BenchSchema)
+	}
+	if len(t.Nodes) < 2 {
+		return fmt.Errorf("%s: %d nodes is not a cluster", path, len(t.Nodes))
+	}
+	if t.Requests <= 0 {
+		return fmt.Errorf("%s: no requests recorded", path)
+	}
+	if t.Mismatches != 0 {
+		return fmt.Errorf("%s: records %d oracle mismatches", path, t.Mismatches)
+	}
+	if !t.Passed {
+		return fmt.Errorf("%s: records a failed harness run", path)
+	}
+	if t.Killed != "" {
+		tt := t.Totals
+		if tt.Hedges == 0 || tt.Retries == 0 || tt.Degraded == 0 {
+			return fmt.Errorf("%s: fault run with idle fault machinery (hedges=%d retries=%d degraded=%d)",
+				path, tt.Hedges, tt.Retries, tt.Degraded)
+		}
+	}
+	return nil
+}

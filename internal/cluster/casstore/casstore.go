@@ -1,0 +1,190 @@
+// Package casstore is a content-addressed on-disk result store for
+// capserver's deterministic response bodies (it implements
+// capserver.ResultStore). Every entry is one file whose path is
+// derived from the SHA-256 of the canonical request key, written with
+// atomic write-rename semantics: a writer creates a temp file in the
+// target directory, writes header+body, then renames it into place.
+// Rename is atomic on POSIX filesystems, so readers — including other
+// node processes sharing the directory — always see either the old
+// complete entry or the new complete entry, never a torn write, with
+// no locking. Because response bodies are pure functions of their
+// canonical keys, concurrent writers racing on one entry are writing
+// identical bytes and last-rename-wins is harmless.
+//
+// This is what lets any node in a capserver cluster serve any cached
+// point (nodes share the directory) and lets a restarted node
+// warm-start from disk instead of recomputing its shard.
+package casstore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync/atomic"
+)
+
+// header tags every entry file; bump on layout changes.
+const header = "capcas/v1"
+
+// Stats is a point-in-time snapshot of store activity.
+type Stats struct {
+	Hits      int64 // Get found a valid entry
+	Misses    int64 // Get found nothing
+	Corrupt   int64 // Get found a file that failed verification
+	Puts      int64 // successful writes
+	PutErrors int64 // failed writes (best-effort: the answer recomputes)
+}
+
+// Store is the on-disk result store. All methods are safe for
+// concurrent use by any number of goroutines and processes.
+type Store struct {
+	dir string
+
+	hits, misses, corrupt, puts, putErrors atomic.Int64
+}
+
+// Open prepares the store directory (creating it if needed).
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("casstore: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("casstore: %v", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// entryPath fans entries out over 256 subdirectories keyed by the
+// first address byte, keeping directory listings short at millions of
+// cached points.
+func (s *Store) entryPath(key string) (dir, path string) {
+	sum := sha256.Sum256([]byte(key))
+	addr := hex.EncodeToString(sum[:])
+	dir = filepath.Join(s.dir, addr[:2])
+	return dir, filepath.Join(dir, addr[2:])
+}
+
+// encode renders an entry: header, the key's byte length, the key,
+// then the body. Embedding the key makes Get verification exact (a
+// SHA-256 collision or a corrupted file can never alias another
+// point) and keeps entries debuggable with cat.
+func encode(key string, body []byte) []byte {
+	var b bytes.Buffer
+	b.Grow(len(header) + len(key) + len(body) + 24)
+	fmt.Fprintf(&b, "%s %d\n%s", header, len(key), key)
+	b.Write(body)
+	return b.Bytes()
+}
+
+// decode parses and verifies an entry, returning the body.
+func decode(raw []byte, key string) ([]byte, bool) {
+	rest, ok := bytes.CutPrefix(raw, []byte(header+" "))
+	if !ok {
+		return nil, false
+	}
+	nl := bytes.IndexByte(rest, '\n')
+	if nl < 0 {
+		return nil, false
+	}
+	klen, err := strconv.Atoi(string(rest[:nl]))
+	if err != nil || klen < 0 || klen > len(rest)-nl-1 {
+		return nil, false
+	}
+	rest = rest[nl+1:]
+	if string(rest[:klen]) != key {
+		return nil, false
+	}
+	return rest[klen:], true
+}
+
+// Get returns the stored body for a canonical key. A file that fails
+// verification counts as corrupt and reads as a miss: the caller
+// recomputes and Put overwrites the bad entry.
+func (s *Store) Get(key string) ([]byte, bool) {
+	_, path := s.entryPath(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	body, ok := decode(raw, key)
+	if !ok {
+		s.corrupt.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return body, true
+}
+
+// Put stores the body for a canonical key with write-rename
+// atomicity. Best-effort: an error is counted, never surfaced — a
+// lost write costs one future recompute.
+func (s *Store) Put(key string, body []byte) {
+	dir, path := s.entryPath(key)
+	if err := s.put(dir, path, encode(key, body)); err != nil {
+		s.putErrors.Add(1)
+		return
+	}
+	s.puts.Add(1)
+}
+
+func (s *Store) put(dir, path string, raw []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	// The temp file lives in the destination directory so the rename
+	// never crosses a filesystem boundary (cross-device renames are
+	// copies, not atomic).
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Len walks the store and returns the number of entries on disk (a
+// test and warm-start diagnostic, not a hot-path operation).
+func (s *Store) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && !bytes.HasPrefix([]byte(d.Name()), []byte(".tmp-")) {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}
+
+// Stats snapshots store activity.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Corrupt:   s.corrupt.Load(),
+		Puts:      s.puts.Load(),
+		PutErrors: s.putErrors.Load(),
+	}
+}

@@ -1,0 +1,154 @@
+package casstore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "bounds?n=4&pd=0.2&pf=0.01"
+	body := []byte(`{"capacity":1.234}` + "\n")
+	if _, ok := s.Get(key); ok {
+		t.Fatal("hit on empty store")
+	}
+	s.Put(key, body)
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, body) {
+		t.Fatalf("round trip: ok=%v got=%q want=%q", ok, got, body)
+	}
+	st := s.Stats()
+	if st.Puts != 1 || st.Hits != 1 || st.Misses != 1 || st.Corrupt != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Fatalf("len: %d err=%v", n, err)
+	}
+}
+
+func TestSharedDirectoryAcrossStores(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Put("predict?n=5&pd=0.1", []byte("body-a"))
+
+	// A second Store over the same directory models a peer node (or a
+	// restarted node warm-starting): it must see the first one's entry.
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := b.Get("predict?n=5&pd=0.1")
+	if !ok || string(got) != "body-a" {
+		t.Fatalf("peer store read: ok=%v got=%q", ok, got)
+	}
+}
+
+func TestCorruptEntryReadsAsMiss(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "trace?n=3&seed=7"
+	s.Put(key, []byte("good"))
+	_, path := s.entryPath(key)
+
+	for _, raw := range [][]byte{
+		[]byte("not an entry"),
+		[]byte("capcas/v1 bogus\nxx"),
+		[]byte("capcas/v1 9999\nshort"),
+		[]byte("capcas/v1 5\nwrongbody"), // embedded key mismatch
+	} {
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Get(key); ok {
+			t.Fatalf("corrupt entry %q served as a hit", raw)
+		}
+	}
+	if st := s.Stats(); st.Corrupt != 4 {
+		t.Fatalf("corrupt count: %+v", st)
+	}
+
+	// Recovery: a fresh Put overwrites the bad entry atomically.
+	s.Put(key, []byte("good again"))
+	got, ok := s.Get(key)
+	if !ok || string(got) != "good again" {
+		t.Fatalf("recovery: ok=%v got=%q", ok, got)
+	}
+}
+
+func TestNoTempFilesSurviveAndNoTornReads(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "bounds?n=9&pd=0.3&pf=0.02"
+	body := bytes.Repeat([]byte("0123456789abcdef"), 512) // 8 KiB
+
+	// Hammer one entry from writers while readers verify they only
+	// ever see complete, verified bodies (rename atomicity).
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s.Put(key, body)
+			}
+		}()
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if got, ok := s.Get(key); ok && !bytes.Equal(got, body) {
+					t.Errorf("torn read: %d bytes", len(got))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Corrupt != 0 {
+		t.Fatalf("readers saw corrupt entries: %+v", st)
+	}
+
+	// After the dust settles the directory holds exactly the entry —
+	// every temp file was renamed or removed.
+	tmps := 0
+	err = filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() && len(info.Name()) >= 5 && info.Name()[:5] == ".tmp-" {
+			tmps++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tmps != 0 {
+		t.Fatalf("%d temp files left behind", tmps)
+	}
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Fatalf("len after hammer: %d err=%v", n, err)
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}

@@ -1,0 +1,103 @@
+// Package cluster takes capserver from one process to N (DESIGN.md
+// §11). The paper's capacity bounds are deterministic functions of a
+// small parameter tuple, which makes the serving layer embarrassingly
+// shardable: every canonicalized request key has exactly one owner,
+// assigned by a consistent-hash ring over a static membership.
+//
+// The pieces:
+//
+//   - Ring: consistent hashing with virtual nodes over the
+//     canonicalized request keyspace (the exact cache-key strings
+//     capserver.Canonicalize produces);
+//   - casstore (subpackage): a content-addressed on-disk result store
+//     with atomic write-rename semantics, plugged into capserver's
+//     ResultStore hook — nodes sharing a store directory can all serve
+//     any cached point, and a restarted node warm-starts from disk;
+//   - Node: the per-process router. Owned keys serve locally;
+//     non-owned keys forward to the owner over HTTP with a hedged
+//     second request to the next replica after a deterministic delay,
+//     bounded deterministic retry/backoff on node loss, and graceful
+//     degradation to local compute (with an X-Capserver-Degraded
+//     response header) when the owning shard is unreachable;
+//   - Harness: the multi-node kill/restart fault harness behind
+//     `capload -mode cluster`, asserting byte-identical responses
+//     against a single-node oracle and cache-hit convergence after
+//     recovery.
+//
+// Everything that decides placement or retry timing is deterministic:
+// the ring hashes only static names, the hedge delay and backoff
+// schedule are fixed configuration, and response bodies are pure
+// functions of request parameters — which is what makes the
+// byte-identity assertion against a single-node oracle meaningful.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Member is one cluster node: a stable name (the ring hashes names,
+// never addresses, so re-addressing a node does not reshard the
+// keyspace) and its base URL.
+type Member struct {
+	Name string
+	URL  string
+}
+
+// Membership is the static cluster configuration. Ordering does not
+// matter: the ring sorts names, so every node derives the identical
+// key assignment from any permutation of the same membership.
+type Membership struct {
+	Members []Member
+}
+
+// Names returns the member names in sorted order.
+func (m Membership) Names() []string {
+	names := make([]string, len(m.Members))
+	for i, mem := range m.Members {
+		names[i] = mem.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// URL returns the base URL for a member name ("" if unknown).
+func (m Membership) URL(name string) string {
+	for _, mem := range m.Members {
+		if mem.Name == name {
+			return mem.URL
+		}
+	}
+	return ""
+}
+
+// ParseMembership parses the static membership flag syntax
+// "n1=http://host1:8081,n2=http://host2:8082,...". Names must be
+// unique and non-empty; URLs must be non-empty and are normalized to
+// drop a trailing slash.
+func ParseMembership(s string) (Membership, error) {
+	var m Membership
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rawURL, ok := strings.Cut(part, "=")
+		name = strings.TrimSpace(name)
+		rawURL = strings.TrimSpace(rawURL)
+		if !ok || name == "" || rawURL == "" {
+			return Membership{}, fmt.Errorf("cluster: membership entry %q is not name=url", part)
+		}
+		if seen[name] {
+			return Membership{}, fmt.Errorf("cluster: duplicate member name %q", name)
+		}
+		seen[name] = true
+		m.Members = append(m.Members, Member{Name: name, URL: strings.TrimRight(rawURL, "/")})
+	}
+	if len(m.Members) == 0 {
+		return Membership{}, fmt.Errorf("cluster: membership %q lists no members", s)
+	}
+	return m, nil
+}

@@ -1,0 +1,556 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/capserver"
+	"repro/internal/cluster/casstore"
+	"repro/internal/rng"
+)
+
+// This file is the multi-node fault harness behind `capload -mode
+// cluster` and `make cluster-smoke`: it stands up an N-node cluster of
+// real capserver processes-in-miniature (each with its own listener,
+// LRU, worker pool and cluster router, all sharing one casstore
+// directory), replays a seeded workload against it while killing and
+// restarting a node mid-run, and checks the two properties the cluster
+// design promises:
+//
+//   - byte identity: every response body equals what a single plain
+//     capserver (the oracle) produces for the same path, regardless of
+//     which node served it, whether it was forwarded, hedged, or
+//     degraded;
+//   - convergence: after the killed node restarts over the shared
+//     store, re-issuing the run's unique paths against it directly is
+//     pure cache traffic (LRU hit or store hit) — the cluster never
+//     recomputes a point it has already computed anywhere.
+//
+// The workload, the per-request dispatch choice, and the kill/restart
+// schedule are pure functions of the options, so a failing run is
+// replayable bit-for-bit.
+
+// HarnessOptions configures a cluster fault-harness run.
+type HarnessOptions struct {
+	// Nodes are the member names (default n1, n2, n3).
+	Nodes []string
+	// Requests is the workload length (default 200).
+	Requests int
+	// Seed drives both the request plan and the dispatch sequence
+	// (default 1).
+	Seed uint64
+	// Unique is the number of distinct parameter points per endpoint
+	// (default 12).
+	Unique int
+	// ExactN makes bounds misses pay a real exact-enumeration compute
+	// (default 8, ~40ms — long enough that a forwarded cold compute
+	// always outlives the hedge delay).
+	ExactN int
+	// KillNode is the member to kill (default the second node in
+	// sorted order). Ignored when KillAfter < 0.
+	KillNode string
+	// KillAfter kills KillNode just before issuing this request index
+	// (default Requests/3). Negative disables the fault entirely.
+	KillAfter int
+	// RestartAfter restarts the killed node just before this request
+	// index (default 2*Requests/3). Negative leaves it down.
+	RestartAfter int
+	// HedgeDelay for every node (default 5ms: far below a cold exact
+	// compute, so forwarded cold computes always hedge — but above the
+	// primary's full retry budget against a dead peer (sub-ms refusals
+	// plus PeerBackoff), so a dead owner deterministically degrades to
+	// local compute instead of being absorbed by the hedge). Negative
+	// disables hedging.
+	HedgeDelay time.Duration
+	// PeerBackoff for every node (default 1ms; see HedgeDelay).
+	PeerBackoff time.Duration
+	// StoreDir is the shared result-store directory (default: a fresh
+	// temp directory, removed when the run ends).
+	StoreDir string
+	// Workers, QueueDepth, CacheEntries configure each node's
+	// capserver (defaults: 2, 64, 1024).
+	Workers, QueueDepth, CacheEntries int
+	// Out receives progress lines (default: discard).
+	Out io.Writer
+}
+
+func (o HarnessOptions) withDefaults() HarnessOptions {
+	if len(o.Nodes) == 0 {
+		o.Nodes = []string{"n1", "n2", "n3"}
+	}
+	if o.Requests <= 0 {
+		o.Requests = 200
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Unique <= 0 {
+		o.Unique = 12
+	}
+	if o.ExactN == 0 {
+		o.ExactN = 8
+	}
+	if o.KillAfter == 0 {
+		o.KillAfter = o.Requests / 3
+	}
+	if o.RestartAfter == 0 {
+		o.RestartAfter = 2 * o.Requests / 3
+	}
+	if o.HedgeDelay == 0 {
+		o.HedgeDelay = 5 * time.Millisecond
+	}
+	if o.PeerBackoff <= 0 {
+		o.PeerBackoff = time.Millisecond
+	}
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 1024
+	}
+	if o.Out == nil {
+		o.Out = io.Discard
+	}
+	return o
+}
+
+// NodeCounters is one member's routing activity, summed across its
+// incarnations (a killed-and-restarted node has two).
+type NodeCounters struct {
+	Name       string `json:"name"`
+	OwnedLocal int64  `json:"owned_local"`
+	Forwards   int64  `json:"forwards"`
+	Hedges     int64  `json:"hedges"`
+	HedgeWins  int64  `json:"hedge_wins"`
+	Retries    int64  `json:"retries"`
+	PeerErrors int64  `json:"peer_errors"`
+	Degraded   int64  `json:"degraded"`
+}
+
+// Convergence is the post-restart cache-convergence check: every
+// unique path the run served, re-issued directly against the restarted
+// node.
+type Convergence struct {
+	Paths      int `json:"paths"`
+	StoreHits  int `json:"store_hits"`
+	CacheHits  int `json:"cache_hits"`
+	Recomputed int `json:"recomputed"`
+	Errors     int `json:"errors"`
+}
+
+// HarnessReport aggregates one harness run.
+type HarnessReport struct {
+	Requests     int         `json:"requests"`
+	Failovers    int         `json:"failovers"`
+	Mismatches   int         `json:"mismatches"`
+	Status       map[int]int `json:"-"`
+	DegradedSeen int         `json:"degraded_seen"` // responses carrying X-Capserver-Degraded
+	HedgedSeen   int         `json:"hedged_seen"`   // responses carrying X-Capserver-Hedge
+	ForwardSeen  int         `json:"forward_seen"`  // responses carrying X-Capserver-Peer
+
+	Killed    string `json:"killed,omitempty"`
+	Restarted bool   `json:"restarted"`
+
+	Nodes       []NodeCounters `json:"nodes"`
+	Convergence Convergence    `json:"convergence"`
+
+	StoreEntries int           `json:"store_entries"`
+	Wall         time.Duration `json:"-"`
+}
+
+// Throughput returns requests per second over the run.
+func (r *HarnessReport) Throughput() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Wall.Seconds()
+}
+
+// Totals sums the per-node counters.
+func (r *HarnessReport) Totals() NodeCounters {
+	t := NodeCounters{Name: "total"}
+	for _, n := range r.Nodes {
+		t.OwnedLocal += n.OwnedLocal
+		t.Forwards += n.Forwards
+		t.Hedges += n.Hedges
+		t.HedgeWins += n.HedgeWins
+		t.Retries += n.Retries
+		t.PeerErrors += n.PeerErrors
+		t.Degraded += n.Degraded
+	}
+	return t
+}
+
+// Format renders the report for humans.
+func (r *HarnessReport) Format(w io.Writer) {
+	fmt.Fprintf(w, "requests:   %d in %v (%.1f req/s), %d failovers, %d mismatches\n",
+		r.Requests, r.Wall.Round(time.Millisecond), r.Throughput(), r.Failovers, r.Mismatches)
+	codes := make([]int, 0, len(r.Status))
+	for c := range r.Status {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Fprintf(w, "status %d: %d\n", c, r.Status[c])
+	}
+	fmt.Fprintf(w, "responses:  %d forwarded, %d hedged, %d degraded\n",
+		r.ForwardSeen, r.HedgedSeen, r.DegradedSeen)
+	if r.Killed != "" {
+		fmt.Fprintf(w, "fault:      killed %s (restarted=%v)\n", r.Killed, r.Restarted)
+	}
+	for _, n := range append(r.Nodes, r.Totals()) {
+		fmt.Fprintf(w, "node %-6s owned=%-4d fwd=%-4d hedge=%d/%d retry=%-3d peer_err=%-3d degraded=%d\n",
+			n.Name, n.OwnedLocal, n.Forwards, n.HedgeWins, n.Hedges, n.Retries, n.PeerErrors, n.Degraded)
+	}
+	if r.Restarted {
+		c := r.Convergence
+		fmt.Fprintf(w, "convergence: %d paths -> %d store, %d hit, %d recomputed, %d errors\n",
+			c.Paths, c.StoreHits, c.CacheHits, c.Recomputed, c.Errors)
+	}
+	fmt.Fprintf(w, "store:      %d entries\n", r.StoreEntries)
+}
+
+// Assert is the acceptance gate for `make cluster-smoke`: byte
+// identity must hold for every response, the restarted node must be
+// pure cache traffic, and when a node was killed the fault machinery
+// must actually have engaged (hedge, retry and degraded counters all
+// nonzero).
+func (r *HarnessReport) Assert() error {
+	var fails []string
+	if r.Mismatches != 0 {
+		fails = append(fails, fmt.Sprintf("%d responses differ from the single-node oracle", r.Mismatches))
+	}
+	t := r.Totals()
+	if t.Forwards == 0 {
+		fails = append(fails, "no request was ever forwarded (dispatch never crossed shards?)")
+	}
+	if t.Hedges == 0 {
+		fails = append(fails, "no hedged request fired")
+	}
+	if r.Killed != "" {
+		if t.Retries == 0 {
+			fails = append(fails, "node killed but no peer attempt was retried")
+		}
+		if t.Degraded == 0 {
+			fails = append(fails, "node killed but no request degraded to local compute")
+		}
+	}
+	if r.Restarted {
+		c := r.Convergence
+		if c.Paths == 0 {
+			fails = append(fails, "convergence check ran over zero paths")
+		}
+		if c.Recomputed != 0 {
+			fails = append(fails, fmt.Sprintf("restarted node recomputed %d already-computed points", c.Recomputed))
+		}
+		if c.Errors != 0 {
+			fails = append(fails, fmt.Sprintf("%d convergence probes failed", c.Errors))
+		}
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("cluster: harness assertions failed:\n  %s", strings.Join(fails, "\n  "))
+	}
+	return nil
+}
+
+// proc is one running node incarnation.
+type proc struct {
+	name  string
+	addr  string
+	lis   net.Listener
+	hsrv  *http.Server
+	srv   *capserver.Server
+	node  *Node
+	store *casstore.Store
+	dead  bool
+}
+
+// RunHarness executes a cluster fault-harness run.
+func RunHarness(o HarnessOptions) (*HarnessReport, error) {
+	o = o.withDefaults()
+	if o.KillAfter >= 0 && o.RestartAfter >= 0 && o.RestartAfter <= o.KillAfter {
+		return nil, fmt.Errorf("cluster: -restart-after (%d) must exceed -kill-after (%d)", o.RestartAfter, o.KillAfter)
+	}
+	storeDir := o.StoreDir
+	if storeDir == "" {
+		dir, err := os.MkdirTemp("", "capcluster-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		storeDir = dir
+	}
+
+	// Bind every listener first: the membership needs real addresses
+	// before any node can route.
+	sortedNames := append([]string(nil), o.Nodes...)
+	sort.Strings(sortedNames)
+	var mem Membership
+	listeners := make(map[string]net.Listener, len(sortedNames))
+	for _, name := range sortedNames {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		defer l.Close() // no-op once a server owns it
+		listeners[name] = l
+		mem.Members = append(mem.Members, Member{Name: name, URL: "http://" + l.Addr().String()})
+	}
+
+	srvCfg := capserver.Config{
+		Workers:      o.Workers,
+		QueueDepth:   o.QueueDepth,
+		CacheEntries: o.CacheEntries,
+	}
+	nodeCfg := Config{
+		Membership:  mem,
+		HedgeDelay:  o.HedgeDelay,
+		PeerBackoff: o.PeerBackoff,
+		PeerTimeout: 30 * time.Second,
+	}
+
+	// retired collects the metrics and store stats of replaced
+	// incarnations so the report sums a member's whole history.
+	retired := make(map[string][]*Metrics)
+	startNode := func(name string, l net.Listener) (*proc, error) {
+		st, err := casstore.Open(storeDir)
+		if err != nil {
+			return nil, err
+		}
+		cfg := srvCfg
+		cfg.Store = st
+		srv := capserver.New(cfg)
+		ncfg := nodeCfg
+		ncfg.Self = name
+		ncfg.Metrics = nil // fresh counters per incarnation
+		node, err := NewNode(srv, ncfg)
+		if err != nil {
+			return nil, err
+		}
+		p := &proc{
+			name:  name,
+			addr:  l.Addr().String(),
+			lis:   l,
+			hsrv:  &http.Server{Handler: node.Handler()},
+			srv:   srv,
+			node:  node,
+			store: st,
+		}
+		go func() { _ = p.hsrv.Serve(l) }()
+		return p, nil
+	}
+
+	procs := make(map[string]*proc, len(sortedNames))
+	for _, name := range sortedNames {
+		p, err := startNode(name, listeners[name])
+		if err != nil {
+			return nil, err
+		}
+		procs[name] = p
+	}
+	defer func() {
+		for _, p := range procs {
+			if !p.dead {
+				_ = p.hsrv.Close()
+			}
+		}
+	}()
+
+	// The oracle: one plain capserver, no cluster, no store. Its
+	// bodies are the ground truth every cluster response must match.
+	oracleSrv := capserver.New(srvCfg)
+	oracleLis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = oracleSrv.Serve(oracleLis) }()
+	defer func() { _ = oracleLis.Close() }()
+	oracleBase := "http://" + oracleLis.Addr().String()
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	oracleBodies := make(map[string][]byte)
+	oracleBody := func(path string) ([]byte, error) {
+		if b, ok := oracleBodies[path]; ok {
+			return b, nil
+		}
+		resp, err := client.Get(oracleBase + path)
+		if err != nil {
+			return nil, fmt.Errorf("oracle %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("oracle %s: status %d", path, resp.StatusCode)
+		}
+		oracleBodies[path] = b
+		return b, nil
+	}
+
+	plan := capserver.PlanPaths(capserver.LoadOptions{
+		Requests: o.Requests,
+		Seed:     o.Seed,
+		Unique:   o.Unique,
+		ExactN:   o.ExactN,
+	})
+
+	killName := o.KillNode
+	if killName == "" {
+		killName = sortedNames[len(sortedNames)/2]
+	}
+	if _, ok := procs[killName]; !ok {
+		return nil, fmt.Errorf("cluster: kill node %q is not a member", killName)
+	}
+
+	report := &HarnessReport{Requests: len(plan), Status: make(map[int]int)}
+	dispatch := rng.NewStream(o.Seed, 0xd15)
+	var servedPaths []string
+	seenPath := make(map[string]bool)
+
+	start := time.Now()
+	for i, req := range plan {
+		if o.KillAfter >= 0 && i == o.KillAfter {
+			p := procs[killName]
+			_ = p.hsrv.Close()
+			p.dead = true
+			retired[killName] = append(retired[killName], p.node.Metrics())
+			report.Killed = killName
+			fmt.Fprintf(o.Out, "request %d: killed %s (%s)\n", i, killName, p.addr)
+		}
+		if o.KillAfter >= 0 && o.RestartAfter >= 0 && i == o.RestartAfter {
+			old := procs[killName]
+			l, err := net.Listen("tcp", old.addr)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: restart %s on %s: %v", killName, old.addr, err)
+			}
+			p, err := startNode(killName, l)
+			if err != nil {
+				return nil, err
+			}
+			procs[killName] = p
+			report.Restarted = true
+			fmt.Fprintf(o.Out, "request %d: restarted %s (%s) cold over the shared store\n", i, killName, p.addr)
+		}
+
+		// Client-side dispatch: a seeded pick over all members, with
+		// failover rotation on transport errors (the client does not
+		// know which node is dead — it discovers it).
+		pick := dispatch.Intn(len(sortedNames))
+		var resp *http.Response
+		var lastErr error
+		for attempt := 0; attempt < len(sortedNames); attempt++ {
+			p := procs[sortedNames[(pick+attempt)%len(sortedNames)]]
+			resp, lastErr = client.Get("http://" + p.addr + req.Path)
+			if lastErr == nil {
+				break
+			}
+			report.Failovers++
+		}
+		if lastErr != nil {
+			report.Mismatches++
+			fmt.Fprintf(o.Out, "request %d: every node refused %s: %v\n", i, req.Path, lastErr)
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			report.Mismatches++
+			continue
+		}
+		report.Status[resp.StatusCode]++
+		if resp.Header.Get(PeerHeader) != "" {
+			report.ForwardSeen++
+		}
+		if resp.Header.Get(HedgeHeader) != "" {
+			report.HedgedSeen++
+		}
+		if resp.Header.Get(DegradedHeader) != "" {
+			report.DegradedSeen++
+		}
+		want, err := oracleBody(req.Path)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK || string(body) != string(want) {
+			report.Mismatches++
+			fmt.Fprintf(o.Out, "request %d: %s: status %d, body diverges from oracle\n", i, req.Path, resp.StatusCode)
+			continue
+		}
+		if !seenPath[req.Path] {
+			seenPath[req.Path] = true
+			servedPaths = append(servedPaths, req.Path)
+		}
+	}
+	report.Wall = time.Since(start)
+
+	// Convergence: the restarted node, asked directly (pre-routed so
+	// it cannot forward), must serve every path the run computed from
+	// its LRU or the shared store — never by recomputing.
+	if report.Restarted {
+		p := procs[killName]
+		report.Convergence.Paths = len(servedPaths)
+		for _, path := range servedPaths {
+			hreq, err := http.NewRequest(http.MethodGet, "http://"+p.addr+path, nil)
+			if err != nil {
+				return nil, err
+			}
+			hreq.Header.Set(ForwardedHeader, "harness")
+			resp, err := client.Do(hreq)
+			if err != nil {
+				report.Convergence.Errors++
+				continue
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				report.Convergence.Errors++
+				continue
+			}
+			switch resp.Header.Get("X-Capserver-Cache") {
+			case "store":
+				report.Convergence.StoreHits++
+			case "hit":
+				report.Convergence.CacheHits++
+			default:
+				report.Convergence.Recomputed++
+			}
+		}
+	}
+
+	// Per-member counters across every incarnation.
+	for _, name := range sortedNames {
+		c := NodeCounters{Name: name}
+		metrics := append([]*Metrics(nil), retired[name]...)
+		if p := procs[name]; !p.dead {
+			metrics = append(metrics, p.node.Metrics())
+		}
+		for _, m := range metrics {
+			c.OwnedLocal += m.OwnedLocal()
+			c.Forwards += m.Forwards()
+			c.Hedges += m.Hedges()
+			c.HedgeWins += m.HedgeWins()
+			c.Retries += m.Retries()
+			c.PeerErrors += m.PeerErrors()
+			c.Degraded += m.Degraded()
+		}
+		report.Nodes = append(report.Nodes, c)
+	}
+
+	if st, err := casstore.Open(storeDir); err == nil {
+		if n, err := st.Len(); err == nil {
+			report.StoreEntries = n
+		}
+	}
+	return report, nil
+}

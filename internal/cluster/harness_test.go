@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// smokeOptions is a scaled-down kill/restart run: small enough for the
+// unit-test suite, large enough that every fault path engages.
+func smokeOptions(t *testing.T) HarnessOptions {
+	return HarnessOptions{
+		Nodes:        []string{"n1", "n2", "n3"},
+		Requests:     90,
+		Seed:         1,
+		Unique:       8,
+		ExactN:       8,
+		KillAfter:    30,
+		RestartAfter: 60,
+		StoreDir:     t.TempDir(),
+	}
+}
+
+func TestHarnessKillRestartRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node fault harness")
+	}
+	o := smokeOptions(t)
+	rep, err := RunHarness(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	rep.Format(&buf)
+	t.Logf("harness report:\n%s", buf.String())
+	if err := rep.Assert(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Killed != "n2" {
+		t.Fatalf("killed %q, want the middle sorted member n2", rep.Killed)
+	}
+	if !rep.Restarted {
+		t.Fatal("restart never happened")
+	}
+	if rep.Failovers == 0 {
+		t.Fatal("no client failover despite a dead node in the dispatch rotation")
+	}
+	if rep.Convergence.Paths == 0 || rep.Convergence.Recomputed != 0 {
+		t.Fatalf("convergence: %+v", rep.Convergence)
+	}
+	if rep.StoreEntries == 0 {
+		t.Fatal("shared store is empty after the run")
+	}
+
+	// The trajectory round-trips through disk and passes validation.
+	path := filepath.Join(t.TempDir(), "BENCH_cluster.json")
+	traj := BuildTrajectory("test", o, rep)
+	if err := WriteTrajectory(path, traj); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckTrajectory(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHarnessNoFaultRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node harness")
+	}
+	o := HarnessOptions{
+		Requests:  40,
+		Unique:    6,
+		ExactN:    7,
+		KillAfter: -1,
+		StoreDir:  t.TempDir(),
+	}
+	rep, err := RunHarness(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Killed != "" || rep.Restarted {
+		t.Fatalf("fault ran despite KillAfter=-1: %+v", rep)
+	}
+	if rep.Mismatches != 0 {
+		t.Fatalf("%d mismatches on a healthy cluster", rep.Mismatches)
+	}
+	if rep.Failovers != 0 {
+		t.Fatalf("%d failovers on a healthy cluster", rep.Failovers)
+	}
+	if rep.Totals().Degraded != 0 {
+		t.Fatal("degraded responses on a healthy cluster")
+	}
+}
+
+func TestCheckTrajectoryRejectsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, traj Trajectory) string {
+		path := filepath.Join(dir, name)
+		if err := WriteTrajectory(path, &traj); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	good := Trajectory{
+		Schema: BenchSchema, Nodes: []string{"n1", "n2", "n3"}, Requests: 10,
+		Killed: "n2", Totals: NodeCounters{Hedges: 1, Retries: 1, Degraded: 1}, Passed: true,
+	}
+	if err := CheckTrajectory(write("good.json", good)); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Schema = "capest/bench-cluster/v0"
+	if err := CheckTrajectory(write("schema.json", bad)); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	bad = good
+	bad.Mismatches = 3
+	if err := CheckTrajectory(write("mismatch.json", bad)); err == nil {
+		t.Fatal("mismatches accepted")
+	}
+	bad = good
+	bad.Passed = false
+	if err := CheckTrajectory(write("failed.json", bad)); err == nil {
+		t.Fatal("failed run accepted")
+	}
+	bad = good
+	bad.Totals.Degraded = 0
+	if err := CheckTrajectory(write("idle.json", bad)); err == nil {
+		t.Fatal("idle fault machinery accepted")
+	}
+	bad = good
+	bad.Nodes = []string{"n1"}
+	if err := CheckTrajectory(write("single.json", bad)); err == nil {
+		t.Fatal("single-node file accepted")
+	}
+	if err := CheckTrajectory(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,68 @@
+package cluster
+
+import "repro/internal/obs"
+
+// Metrics is the per-node cluster instrumentation, registered on the
+// same obs.Registry as the wrapped capserver so one /metrics page
+// carries both layers. Every counter is a deterministic count of
+// routing decisions; only which of primary/hedge wins a race is
+// timing-dependent, and the harness asserts on the decision counters,
+// not the race outcomes.
+type Metrics struct {
+	reg        *obs.Registry
+	ownedLocal *obs.Counter
+	forwards   *obs.Counter
+	hedges     *obs.Counter
+	hedgeWins  *obs.Counter
+	retries    *obs.Counter
+	peerErrors *obs.Counter
+	degraded   *obs.Counter
+}
+
+// NewMetrics registers the node's metric families on reg (a nil reg
+// gets a private registry). Registration order is exposition order.
+// Pass the wrapped capserver's registry (capserver.Config.Metrics) so
+// one /metrics page serves both layers.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Metrics{
+		reg:        reg,
+		ownedLocal: reg.Counter("cluster_owned_local_total"),
+		forwards:   reg.Counter("cluster_forward_total"),
+		hedges:     reg.Counter("cluster_hedge_total"),
+		hedgeWins:  reg.Counter("cluster_hedge_wins_total"),
+		retries:    reg.Counter("cluster_retry_total"),
+		peerErrors: reg.Counter("cluster_peer_errors_total"),
+		degraded:   reg.Counter("cluster_degraded_total"),
+	}
+}
+
+// Registry returns the backing registry.
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// OwnedLocal returns the number of shardable requests this node
+// served because it owns their keys (or received them pre-routed).
+func (m *Metrics) OwnedLocal() int64 { return m.ownedLocal.Value() }
+
+// Forwards returns the number of requests forwarded toward an owner.
+func (m *Metrics) Forwards() int64 { return m.forwards.Value() }
+
+// Hedges returns the number of hedged second requests fired.
+func (m *Metrics) Hedges() int64 { return m.hedges.Value() }
+
+// HedgeWins returns the number of forwards answered by the hedge.
+func (m *Metrics) HedgeWins() int64 { return m.hedgeWins.Value() }
+
+// Retries returns the number of re-attempts against a peer after a
+// retryable failure.
+func (m *Metrics) Retries() int64 { return m.retries.Value() }
+
+// PeerErrors returns the number of peer attempts that ended in a
+// transport error or retryable status after exhausting retries.
+func (m *Metrics) PeerErrors() int64 { return m.peerErrors.Value() }
+
+// Degraded returns the number of requests that fell back to local
+// compute because the owning shard was unreachable.
+func (m *Metrics) Degraded() int64 { return m.degraded.Value() }

@@ -1,0 +1,319 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Forwarding headers. ForwardedHeader marks a request that has
+// already been routed — the receiving node serves it locally without
+// re-consulting the ring, which bounds every request to at most one
+// forwarding hop and makes routing loops impossible by construction.
+const (
+	// ForwardedHeader carries the name of the node (or harness) that
+	// routed the request here.
+	ForwardedHeader = "X-Capserver-Forwarded"
+	// PeerHeader names the peer that actually served a forwarded
+	// response.
+	PeerHeader = "X-Capserver-Peer"
+	// HedgeHeader marks a forwarded response won by the hedged second
+	// request.
+	HedgeHeader = "X-Capserver-Hedge"
+	// DegradedHeader names the unreachable owner when a node fell back
+	// to computing a non-owned key locally.
+	DegradedHeader = "X-Capserver-Degraded"
+)
+
+// Config tunes a cluster node. The zero value is not serviceable: the
+// Self name and Membership are required.
+type Config struct {
+	// Self is this node's name in the membership.
+	Self string
+	// Membership is the static cluster membership (including Self).
+	Membership Membership
+	// VirtualNodes is the per-member virtual node count on the ring
+	// (default DefaultVirtualNodes). Every node must use one value.
+	VirtualNodes int
+	// HedgeDelay is the deterministic delay after which a forward
+	// still waiting on the owner fires a second request at the next
+	// replica (default 25ms). Zero keeps the default; a negative value
+	// disables hedging.
+	HedgeDelay time.Duration
+	// PeerAttempts bounds tries against the owner: 1 initial attempt
+	// plus PeerAttempts-1 retries (default 2).
+	PeerAttempts int
+	// PeerBackoff is the base of the deterministic exponential backoff
+	// between retries: backoff << attempt, like the PR-2 Supervisor's
+	// use-budget backoff translated to wall clock (default 10ms).
+	PeerBackoff time.Duration
+	// PeerTimeout bounds one peer round trip (default 30s).
+	PeerTimeout time.Duration
+	// Client overrides the forwarding HTTP client (default: a fresh
+	// client with PeerTimeout).
+	Client *http.Client
+	// Metrics, when non-nil, is the registry the node's counters
+	// register on — pass the wrapped capserver's registry to serve one
+	// /metrics page for both layers.
+	Metrics *Metrics
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = DefaultVirtualNodes
+	}
+	if c.HedgeDelay == 0 {
+		c.HedgeDelay = 25 * time.Millisecond
+	}
+	if c.PeerAttempts <= 0 {
+		c.PeerAttempts = 2
+	}
+	if c.PeerBackoff <= 0 {
+		c.PeerBackoff = 10 * time.Millisecond
+	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 30 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: c.PeerTimeout}
+	}
+	return c
+}
+
+// localServer is the slice of capserver.Server the node needs: the
+// request handler and the canonical-key router. Declared as an
+// interface so node tests can substitute instrumented locals.
+type localServer interface {
+	Handler() http.Handler
+	Canonicalize(r *http.Request) (key string, ok bool)
+}
+
+// Node routes requests for one member of a capserver cluster. It
+// wraps the local capserver: shardable requests it owns (and every
+// non-shardable or already-forwarded request) serve locally; the rest
+// forward to their owner with hedging, bounded deterministic retry,
+// and degradation to local compute when the owner is unreachable.
+type Node struct {
+	cfg     Config
+	ring    *Ring
+	local   localServer
+	metrics *Metrics
+}
+
+// NewNode builds the router for Self within the membership.
+func NewNode(local localServer, cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if local == nil {
+		return nil, fmt.Errorf("cluster: node needs a local server")
+	}
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: node needs a Self name")
+	}
+	if cfg.Membership.URL(cfg.Self) == "" {
+		return nil, fmt.Errorf("cluster: self %q is not in the membership", cfg.Self)
+	}
+	ring, err := NewRing(cfg.Membership.Names(), cfg.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = NewMetrics(nil)
+	}
+	return &Node{cfg: cfg, ring: ring, local: local, metrics: cfg.Metrics}, nil
+}
+
+// Metrics returns the node's routing counters.
+func (n *Node) Metrics() *Metrics { return n.metrics }
+
+// Ring returns the node's placement ring (tests and diagnostics).
+func (n *Node) Ring() *Ring { return n.ring }
+
+// Handler returns the node's HTTP handler: the cluster router in
+// front of the local capserver mux.
+func (n *Node) Handler() http.Handler { return http.HandlerFunc(n.serveHTTP) }
+
+func (n *Node) serveHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Header.Get(ForwardedHeader) != "" {
+		// Pre-routed: serve locally, never forward again.
+		n.local.Handler().ServeHTTP(w, r)
+		return
+	}
+	key, ok := n.local.Canonicalize(r)
+	if !ok {
+		n.local.Handler().ServeHTTP(w, r)
+		return
+	}
+	owner := n.ring.Owner(key)
+	if owner == n.cfg.Self {
+		n.metrics.ownedLocal.Inc()
+		n.local.Handler().ServeHTTP(w, r)
+		return
+	}
+	n.forward(w, r, key, owner)
+}
+
+// peerResult is one peer attempt's outcome.
+type peerResult struct {
+	status int
+	header http.Header
+	body   []byte
+	peer   string
+	hedged bool
+	err    error
+}
+
+// forward resolves a non-owned key: primary attempts against the
+// owner (bounded retry, deterministic backoff), a hedged second
+// request at the next replica once the deterministic hedge delay
+// elapses, and local degraded compute if every peer path fails. The
+// first successful response wins; the loser's context is canceled.
+func (n *Node) forward(w http.ResponseWriter, r *http.Request, key, owner string) {
+	n.metrics.forwards.Inc()
+	uri := r.URL.RequestURI()
+	pctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+
+	results := make(chan peerResult, 2)
+	go func() {
+		results <- n.tryPeer(pctx, owner, uri, n.cfg.PeerAttempts, false)
+	}()
+	inflight := 1
+
+	// The hedge target is the next distinct replica on the ring —
+	// the peer that inherits the owner's arc if it leaves, so the one
+	// most likely to have the point warm in a shared store.
+	hedge := ""
+	for _, rep := range n.ring.Replicas(key, len(n.ring.names)) {
+		if rep != owner && rep != n.cfg.Self {
+			hedge = rep
+			break
+		}
+	}
+	var hedgeTimer <-chan time.Time
+	if hedge != "" && n.cfg.HedgeDelay > 0 {
+		t := time.NewTimer(n.cfg.HedgeDelay)
+		defer t.Stop()
+		hedgeTimer = t.C
+	}
+
+race:
+	for inflight > 0 {
+		select {
+		case res := <-results:
+			inflight--
+			if res.err == nil {
+				if res.hedged {
+					n.metrics.hedgeWins.Inc()
+				}
+				n.writePeerResponse(w, res)
+				return
+			}
+			n.metrics.peerErrors.Inc()
+			// When the primary is lost with no hedge racing, the loop
+			// exits and degrades immediately: waiting out the hedge
+			// timer buys nothing, and a non-owner peer would do the
+			// same compute this node can do itself.
+		case <-hedgeTimer:
+			hedgeTimer = nil
+			n.metrics.hedges.Inc()
+			inflight++
+			go func() {
+				results <- n.tryPeer(pctx, hedge, uri, 1, true)
+			}()
+		case <-r.Context().Done():
+			// The client is gone; the local handler translates the
+			// dead context into its 499 accounting.
+			break race
+		}
+	}
+	n.degrade(w, r, owner)
+}
+
+// degrade serves a non-owned key locally because the owning shard is
+// unreachable, marking the response so clients and the harness can
+// see the fallback.
+func (n *Node) degrade(w http.ResponseWriter, r *http.Request, owner string) {
+	n.metrics.degraded.Inc()
+	w.Header().Set(DegradedHeader, owner)
+	n.local.Handler().ServeHTTP(w, r)
+}
+
+// retryableStatus reports whether a peer status reflects transient
+// load or lifecycle (retry elsewhere) rather than a deterministic
+// verdict about the request (authoritative anywhere).
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// tryPeer runs up to attempts round trips against one peer with
+// deterministic exponential backoff between them (base << attempt).
+func (n *Node) tryPeer(ctx context.Context, peer, uri string, attempts int, hedged bool) peerResult {
+	base := n.cfg.Membership.URL(peer)
+	var last peerResult
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			n.metrics.retries.Inc()
+			backoff := n.cfg.PeerBackoff << (attempt - 1)
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return peerResult{peer: peer, hedged: hedged, err: ctx.Err()}
+			}
+		}
+		last = n.roundTrip(ctx, base, peer, uri, hedged)
+		if last.err == nil {
+			return last
+		}
+	}
+	return last
+}
+
+// roundTrip performs one forwarded request. Retryable statuses come
+// back as errors; every other status is the peer's authoritative,
+// deterministic answer (a 400 or 500 would be byte-identical locally).
+func (n *Node) roundTrip(ctx context.Context, base, peer, uri string, hedged bool) peerResult {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+uri, nil)
+	if err != nil {
+		return peerResult{peer: peer, hedged: hedged, err: err}
+	}
+	req.Header.Set(ForwardedHeader, n.cfg.Self)
+	resp, err := n.cfg.Client.Do(req)
+	if err != nil {
+		return peerResult{peer: peer, hedged: hedged, err: err}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return peerResult{peer: peer, hedged: hedged, err: err}
+	}
+	if retryableStatus(resp.StatusCode) {
+		return peerResult{peer: peer, hedged: hedged, err: fmt.Errorf("cluster: peer %s answered %d", peer, resp.StatusCode)}
+	}
+	return peerResult{status: resp.StatusCode, header: resp.Header, body: body, peer: peer, hedged: hedged}
+}
+
+// writePeerResponse relays a peer's answer, preserving the serving
+// headers and adding the routing trail.
+func (n *Node) writePeerResponse(w http.ResponseWriter, res peerResult) {
+	h := w.Header()
+	if ct := res.header.Get("Content-Type"); ct != "" {
+		h.Set("Content-Type", ct)
+	}
+	if class := res.header.Get("X-Capserver-Cache"); class != "" {
+		h.Set("X-Capserver-Cache", class)
+	}
+	h.Set(PeerHeader, res.peer)
+	if res.hedged {
+		h.Set(HedgeHeader, "1")
+	}
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+}
