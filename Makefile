@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race race-hostile race-obs fuzz-smoke bench-smoke serve-smoke trace-smoke cluster-smoke bench bench-json bench-cluster
+.PHONY: ci fmt vet build test race race-hostile race-obs fuzz-smoke bench-smoke serve-smoke trace-smoke cluster-smoke trace-cluster-smoke bench bench-json bench-cluster
 
-ci: fmt vet build test race race-hostile race-obs fuzz-smoke bench-smoke serve-smoke trace-smoke cluster-smoke
+ci: fmt vet build test race race-hostile race-obs fuzz-smoke bench-smoke serve-smoke trace-smoke cluster-smoke trace-cluster-smoke
 
 # gofmt -l prints offending files; fail if it prints anything.
 fmt:
@@ -40,7 +40,7 @@ race-hostile:
 # fast path must stay equivalent to the observed per-use path, and the
 # cluster router races hedges against primaries by design.
 race-obs:
-	$(GO) test -race ./internal/obs/... ./internal/capserver/... ./internal/channel/... ./internal/cluster/...
+	$(GO) test -race ./internal/obs/... ./internal/capserver/... ./internal/channel/... ./internal/cluster/... ./cmd/capstat/...
 
 # 30 seconds per native fuzz target: the Definition 1 trace invariants
 # and the fault-spec grammar. Regressions the unit corpus misses show
@@ -60,6 +60,7 @@ bench-smoke:
 	$(GO) run ./cmd/kernelbench -check "$$tmp" && \
 	$(GO) run ./cmd/kernelbench -check BENCH_kernels.json
 	$(GO) run ./cmd/capload -mode cluster-check BENCH_cluster.json
+	$(GO) test -run '^TestOwnedFastPathZeroAlloc$$' -v ./internal/cluster
 
 # Serving gate: boot a capserver in-process on an ephemeral port, hit
 # every endpoint, assert 200 + well-formed JSON, shut down cleanly.
@@ -87,6 +88,23 @@ trace-smoke:
 	$(GO) run ./cmd/tracecap -n 4 -pd 0.1 -pi 0.05 -ps 0.02 "$$tmp/run.jsonl" \
 		| tee "$$tmp/analysis.txt" && \
 	grep -q "agrees with the assumed point" "$$tmp/analysis.txt"
+
+# Tracing gate: the cluster fault run again, with request tracing on
+# and per-node trace files written out, then the capstat analyzer over
+# those files. The grep is the point of the gate: capstat only prints
+# that line when every chain invariant holds AND the trace-derived
+# accounting equals the routing counters exactly, across the kill and
+# the restart.
+trace-cluster-smoke:
+	@tmp="$$(mktemp -d)"; trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/capload -mode cluster -cluster n1,n2,n3 \
+		-requests 90 -unique 8 -exact-n 8 \
+		-kill-after 30 -restart-after 60 -assert \
+		-trace-dir "$$tmp" && \
+	$(GO) run ./cmd/capstat -counters "$$tmp/counters.json" \
+		"$$tmp"/n1.jsonl "$$tmp"/n2.jsonl "$$tmp"/n3.jsonl \
+		| tee "$$tmp/capstat.txt" && \
+	grep -q "reconciles exactly" "$$tmp/capstat.txt"
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .

@@ -26,6 +26,14 @@
 //	capload -mode cluster-check BENCH_cluster.json
 //	                                     # validate a committed
 //	                                     # trajectory file
+//	capload -mode cluster -cluster n1,n2,n3 -trace-dir /tmp/run -assert
+//	                                     # same fault run with request
+//	                                     # tracing on: per-node span
+//	                                     # files + counters.json for
+//	                                     # cmd/capstat, and -assert
+//	                                     # additionally requires the
+//	                                     # trace to reconcile exactly
+//	                                     # with the routing counters
 //
 // The request sequence (endpoints, parameter points, order) is a pure
 // function of -seed, so two runs against equivalent servers issue the
@@ -83,6 +91,8 @@ func run(args []string, out *os.File) error {
 		storeDir    = fs.String("store", "", "cluster mode: shared result-store directory (default: fresh temp dir)")
 		benchOut    = fs.String("bench-out", "", "cluster mode: write a BENCH_cluster.json trajectory here")
 		assert      = fs.Bool("assert", false, "cluster mode: fail on any harness assertion (byte identity, convergence, fault counters)")
+		trace       = fs.Bool("trace", false, "cluster mode: trace every request and reconcile spans against routing counters")
+		traceDir    = fs.String("trace-dir", "", "cluster mode: write per-node trace JSONL and counters.json here for capstat (implies -trace)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -106,6 +116,8 @@ func run(args []string, out *os.File) error {
 			cacheSz:      *cacheSz,
 			benchOut:     *benchOut,
 			assert:       *assert,
+			trace:        *trace,
+			traceDir:     *traceDir,
 		}, out)
 	case "cluster-check":
 		path := *benchOut
@@ -199,6 +211,8 @@ type clusterOptions struct {
 	workers, queue, cacheSz int
 	benchOut                string
 	assert                  bool
+	trace                   bool
+	traceDir                string
 }
 
 // runCluster drives the multi-node fault harness and optionally writes
@@ -227,6 +241,8 @@ func runCluster(o clusterOptions, out *os.File) error {
 		Workers:      o.workers,
 		QueueDepth:   o.queue,
 		CacheEntries: o.cacheSz,
+		Trace:        o.trace,
+		TraceDir:     o.traceDir,
 		Out:          out,
 	}
 	rep, err := cluster.RunHarness(ho)
@@ -248,7 +264,11 @@ func runCluster(o clusterOptions, out *os.File) error {
 		if err := rep.Assert(); err != nil {
 			return err
 		}
-		fmt.Fprintln(out, "cluster-assert: byte identity, convergence and fault counters all hold")
+		if rep.Trace != nil {
+			fmt.Fprintln(out, "cluster-assert: byte identity, convergence, fault counters and trace reconciliation all hold")
+		} else {
+			fmt.Fprintln(out, "cluster-assert: byte identity, convergence and fault counters all hold")
+		}
 	}
 	return nil
 }

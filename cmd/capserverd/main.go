@@ -73,12 +73,17 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 		peerRetries = fs.Int("peer-retries", 0, "attempts against a peer before giving up (0 = default)")
 		peerBackoff = fs.Duration("peer-backoff", 0, "base backoff between peer retries (0 = default)")
 		vnodes      = fs.Int("vnodes", 0, "virtual nodes per ring member (0 = default; must match across the cluster)")
+		traceFile   = fs.String("trace", "", "append request-trace JSONL here (cluster mode; analyze with capstat)")
+		traceSeed   = fs.Uint64("trace-seed", 1, "trace-ID incarnation seed; bump on every restart of this member")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if (*clusterFlag == "") != (*self == "") {
 		return fmt.Errorf("-cluster and -self must be set together")
+	}
+	if *traceFile != "" && *clusterFlag == "" {
+		return fmt.Errorf("-trace records cluster request spans and needs -cluster")
 	}
 
 	reg := obs.NewRegistry()
@@ -108,6 +113,17 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 		if err != nil {
 			return err
 		}
+		var tracer *obs.Tracer
+		if *traceFile != "" {
+			f, err := os.OpenFile(*traceFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			tracer = obs.NewTracer(f)
+			defer tracer.Close()
+			fmt.Fprintf(logw, "capserverd: tracing requests to %s (seed %d)\n", *traceFile, *traceSeed)
+		}
 		node, err := cluster.NewNode(srv, cluster.Config{
 			Self:         *self,
 			Membership:   mem,
@@ -116,6 +132,8 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 			PeerAttempts: *peerRetries,
 			PeerBackoff:  *peerBackoff,
 			Metrics:      cluster.NewMetrics(reg),
+			Tracer:       tracer,
+			TraceSeed:    *traceSeed,
 		})
 		if err != nil {
 			return err

@@ -129,7 +129,7 @@ func (s *Server) handleBoundsBatch(w http.ResponseWriter, r *http.Request) {
 					defer wg.Done()
 					// Same endpoint tag and key line as GET /v1/bounds:
 					// this is what makes batch points share its cache.
-					body, _, err := s.do(ctx, "bounds", "bounds?"+key, compute)
+					body, _, _, err := s.do(ctx, "bounds", "bounds?"+key, compute)
 					if err != nil {
 						results[i] = BatchPointResult{Error: err.Error(), Retryable: errors.Is(err, errQueueFull)}
 						return

@@ -4,15 +4,22 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
-// flight is one in-flight computation. body and err are written
-// exactly once, before done is closed; waiters read them only after
-// <-done, which provides the happens-before edge.
+// flight is one in-flight computation. body, err and the timing split
+// are written exactly once, before done is closed; waiters read them
+// only after <-done, which provides the happens-before edge.
 type flight struct {
 	done chan struct{}
 	body []byte
 	err  error
+	// queue and compute split the leader's wall time between waiting
+	// in the worker queue and executing the kernel; request tracing
+	// exposes them per hop. Waiters that shared the flight inherit the
+	// leader's split — the wait they experienced is the same queue and
+	// compute the leader paid. Cache and store hits leave both zero.
+	queue, compute time.Duration
 	// waiters counts requests still interested in the result: the
 	// leader plus every joined request, each decremented when its
 	// request context ends before the flight completes. A queued

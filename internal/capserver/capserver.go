@@ -47,6 +47,18 @@ import (
 	"repro/internal/obs"
 )
 
+// Response headers the serving core attaches. CacheHeader carries the
+// serving class of a 200 body; the two timing headers expose the
+// request's queue-wait/compute split and are attached only when the
+// request carries a trace ID (obs.TraceHeader), so untraced serving
+// stays byte-identical to the pre-tracing implementation and pays one
+// header lookup.
+const (
+	CacheHeader        = "X-Capserver-Cache"
+	TraceQueueHeader   = "X-Capserver-Queue-Us"
+	TraceComputeHeader = "X-Capserver-Compute-Us"
+)
+
 // ResultStore is a secondary, durable result cache behind the LRU: a
 // miss consults the store before computing, and every successful
 // computation is written through. Implementations must be safe for
@@ -230,7 +242,14 @@ func (s *Server) handleCompute(endpoint string, build buildFunc) http.HandlerFun
 			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
 			defer cancel()
 		}
-		body, source, err := s.do(ctx, endpoint, endpoint+"?"+key, compute)
+		body, source, timing, err := s.do(ctx, endpoint, endpoint+"?"+key, compute)
+		if r.Header.Get(obs.TraceHeader) != "" {
+			// The request is part of a cluster trace: expose the
+			// queue/compute split so the routing layer's span can
+			// attribute where the hop's time went.
+			w.Header().Set(TraceQueueHeader, strconv.FormatInt(timing.queue.Microseconds(), 10))
+			w.Header().Set(TraceComputeHeader, strconv.FormatInt(timing.compute.Microseconds(), 10))
+		}
 		switch {
 		case err == nil:
 			s.finish(w, endpoint, start, http.StatusOK, body, source)
@@ -252,6 +271,12 @@ func (s *Server) handleCompute(endpoint string, build buildFunc) http.HandlerFun
 	}
 }
 
+// flightTiming is the queue-wait/compute split of a resolved request,
+// for the per-hop trace exposition. Cache and store hits report zeros.
+type flightTiming struct {
+	queue, compute time.Duration
+}
+
 // do resolves one computation: cache hit, joining an in-flight
 // identical computation, leading one resolved from the durable store,
 // or leading a fresh computation through the worker pool. source is
@@ -259,11 +284,11 @@ func (s *Server) handleCompute(endpoint string, build buildFunc) http.HandlerFun
 // context ends first withdraws from the flight; when every waiter has
 // withdrawn before a worker picks the job up, the computation is
 // skipped entirely.
-func (s *Server) do(ctx context.Context, endpoint, key string, compute func() ([]byte, error)) (body []byte, source string, err error) {
+func (s *Server) do(ctx context.Context, endpoint, key string, compute func() ([]byte, error)) (body []byte, source string, timing flightTiming, err error) {
 	cached, fl, leader := s.cache.lookupOrJoin(key)
 	if cached != nil {
 		s.metrics.cacheHit()
-		return cached, "hit", nil
+		return cached, "hit", timing, nil
 	}
 	stored := false
 	if leader {
@@ -276,7 +301,9 @@ func (s *Server) do(ctx context.Context, endpoint, key string, compute func() ([
 			}
 		}
 		if !stored {
+			submitted := time.Now()
 			job := func() {
+				fl.queue = time.Since(submitted)
 				if fl.abandoned() {
 					s.metrics.computeAbandoned()
 					s.cache.finish(key, fl, nil, errAbandoned)
@@ -289,7 +316,9 @@ func (s *Server) do(ctx context.Context, endpoint, key string, compute func() ([
 					}
 				}()
 				s.metrics.computeStart(endpoint)
+				started := time.Now()
 				b, cerr := compute()
+				fl.compute = time.Since(started)
 				if cerr == nil && s.store != nil {
 					s.store.Put(key, b)
 				}
@@ -313,17 +342,17 @@ func (s *Server) do(ctx context.Context, endpoint, key string, compute func() ([
 		default:
 			source = "shared"
 		}
-		return fl.body, source, fl.err
+		return fl.body, source, flightTiming{queue: fl.queue, compute: fl.compute}, fl.err
 	case <-ctx.Done():
 		fl.abandon()
-		return nil, "", ctx.Err()
+		return nil, "", timing, ctx.Err()
 	}
 }
 
 // finish writes the response and records the request's metrics.
 func (s *Server) finish(w http.ResponseWriter, endpoint string, start time.Time, status int, body []byte, source string) {
 	if source != "" {
-		w.Header().Set("X-Capserver-Cache", source)
+		w.Header().Set(CacheHeader, source)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)

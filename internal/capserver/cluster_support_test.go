@@ -121,7 +121,7 @@ func TestAbandonedRequestSkipsCompute(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel() // the client is already gone
 	invoked := false
-	_, _, err := s.do(ctx, "bounds", "bounds?abandon-test", func() ([]byte, error) {
+	_, _, _, err := s.do(ctx, "bounds", "bounds?abandon-test", func() ([]byte, error) {
 		invoked = true
 		return []byte("never"), nil
 	})
@@ -143,7 +143,7 @@ func TestAbandonedRequestSkipsCompute(t *testing.T) {
 
 	// The abandoned flight must not wedge the key: a fresh request
 	// leads a new computation and succeeds.
-	body, source, err := s.do(context.Background(), "bounds", "bounds?abandon-test", func() ([]byte, error) {
+	body, source, _, err := s.do(context.Background(), "bounds", "bounds?abandon-test", func() ([]byte, error) {
 		return []byte("fresh"), nil
 	})
 	if err != nil || string(body) != "fresh" || source != "miss" {
@@ -165,7 +165,7 @@ func TestAbandonedSharedWaiterKeepsCompute(t *testing.T) {
 	gone, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		_, _, err := s.do(gone, "bounds", "bounds?shared-test", func() ([]byte, error) {
+		_, _, _, err := s.do(gone, "bounds", "bounds?shared-test", func() ([]byte, error) {
 			return []byte("kept"), nil
 		})
 		done <- err
@@ -186,7 +186,7 @@ func TestAbandonedSharedWaiterKeepsCompute(t *testing.T) {
 	// frees: its interest keeps the computation alive.
 	joined := make(chan error, 1)
 	go func() {
-		body, _, err := s.do(context.Background(), "bounds", "bounds?shared-test", func() ([]byte, error) {
+		body, _, _, err := s.do(context.Background(), "bounds", "bounds?shared-test", func() ([]byte, error) {
 			return []byte("unused"), nil
 		})
 		if err == nil && string(body) != "kept" {

@@ -2,6 +2,7 @@ package capserver
 
 import (
 	"io"
+	"runtime"
 	"strconv"
 	"time"
 
@@ -35,10 +36,24 @@ type Metrics struct {
 
 // newMetrics registers the service's metric families on reg (a nil reg
 // gets a private registry). Registration order is exposition order.
+// Beyond the serving-core families, every server also exposes the
+// Prometheus-convention build-info constant (value pinned to 1, the
+// payload in the labels) and the process_ runtime self-metrics; the
+// latter sample live runtime state at scrape time and are the one
+// exception to the byte-identical exposition contract, which is why
+// they register last and carry a prefix consumers can filter on.
 func newMetrics(reg *obs.Registry) *Metrics {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	m := newServingMetrics(reg)
+	reg.GaugeVec("capserver_build_info", "go_version").With(runtime.Version()).Set(1)
+	obs.RegisterRuntimeMetrics(reg, time.Now())
+	return m
+}
+
+// newServingMetrics registers only the serving-core families.
+func newServingMetrics(reg *obs.Registry) *Metrics {
 	return &Metrics{
 		reg:       reg,
 		requests:  reg.CounterVec("capserver_requests_total", "endpoint", "code"),

@@ -2,16 +2,41 @@ package capserver
 
 import (
 	"bytes"
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 )
+
+// splitExposition separates a /metrics rendering into its deterministic
+// part and the process_ runtime self-metrics, which sample live runtime
+// state at scrape time and are exempt from the byte-identical contract.
+func splitExposition(s string) (deterministic string, process []string) {
+	var det strings.Builder
+	for _, line := range strings.SplitAfter(s, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "process_") {
+			process = append(process, strings.TrimSuffix(line, "\n"))
+			continue
+		}
+		det.WriteString(line)
+	}
+	return det.String(), process
+}
 
 // TestMetricsExpositionGolden locks the /metrics exposition format:
 // every pre-existing series must stay byte-identical (names, label
 // order, quantile formatting, bucket boundaries). The golden bytes
 // below were captured from the pre-registry Metrics implementation
 // over this exact event sequence; the cluster PR appended the
-// compute_abandoned and store_hits families in place.
+// compute_abandoned and store_hits families in place, and the tracing
+// PR appended the build_info constant and the process_ self-metrics
+// (the latter checked by shape, not bytes — they sample the live
+// runtime).
 func TestMetricsExpositionGolden(t *testing.T) {
 	m := newMetrics(nil)
 	m.observe("bounds", 200, 5*time.Millisecond)
@@ -34,7 +59,7 @@ func TestMetricsExpositionGolden(t *testing.T) {
 	var buf bytes.Buffer
 	m.write(&buf, CacheStats{Entries: 2, Evictions: 1, Inflight: 0}, 3)
 
-	const golden = `capserver_requests_total{endpoint="bounds",code="200"} 2
+	golden := `capserver_requests_total{endpoint="bounds",code="200"} 2
 capserver_requests_total{endpoint="bounds",code="400"} 1
 capserver_requests_total{endpoint="healthz",code="200"} 1
 capserver_requests_total{endpoint="simulate",code="200"} 1
@@ -63,15 +88,42 @@ capserver_latency_ms_count{endpoint="simulate"} 1
 capserver_latency_ms{endpoint="simulate",quantile="0.5"} 1585
 capserver_latency_ms{endpoint="simulate",quantile="0.9"} 1585
 capserver_latency_ms{endpoint="simulate",quantile="0.99"} 1585
-`
-	if got := buf.String(); got != golden {
-		t.Errorf("exposition differs from the pre-registry format:\n--- got ---\n%s--- want ---\n%s", got, golden)
+` + fmt.Sprintf("capserver_build_info{go_version=%q} 1\n", runtime.Version())
+
+	det, proc := splitExposition(buf.String())
+	if det != golden {
+		t.Errorf("exposition differs from the pre-registry format:\n--- got ---\n%s--- want ---\n%s", det, golden)
+	}
+
+	// The runtime self-metrics render last, in registration order, each
+	// as an unlabeled integer sample.
+	wantProc := []string{
+		"process_goroutines",
+		"process_heap_alloc_bytes",
+		"process_gc_cycles_total",
+		"process_uptime_seconds",
+	}
+	if len(proc) != len(wantProc) {
+		t.Fatalf("got %d process_ lines %v, want %d", len(proc), proc, len(wantProc))
+	}
+	for i, line := range proc {
+		name, val, ok := strings.Cut(line, " ")
+		if !ok || name != wantProc[i] {
+			t.Errorf("process_ line %d is %q, want metric %s", i, line, wantProc[i])
+			continue
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil || n < 0 {
+			t.Errorf("%s sampled %q, want a non-negative integer", name, val)
+		}
 	}
 }
 
 // TestMetricsWriteIdempotent checks that rendering is a pure snapshot:
 // two consecutive writes with the same gauge inputs emit identical
-// bytes (scraping must not perturb the metrics).
+// bytes for every deterministic family (scraping must not perturb the
+// metrics). The process_ self-metrics are excluded — rendering itself
+// allocates, so live heap samples legitimately differ between scrapes.
 func TestMetricsWriteIdempotent(t *testing.T) {
 	m := newMetrics(nil)
 	m.observe("bounds", 200, time.Millisecond)
@@ -80,7 +132,9 @@ func TestMetricsWriteIdempotent(t *testing.T) {
 	var a, b bytes.Buffer
 	m.write(&a, CacheStats{Entries: 1}, 0)
 	m.write(&b, CacheStats{Entries: 1}, 0)
-	if a.String() != b.String() {
-		t.Errorf("consecutive scrapes differ:\n%s\nvs\n%s", a.String(), b.String())
+	detA, _ := splitExposition(a.String())
+	detB, _ := splitExposition(b.String())
+	if detA != detB {
+		t.Errorf("consecutive scrapes differ:\n%s\nvs\n%s", detA, detB)
 	}
 }

@@ -1,17 +1,22 @@
 package cluster
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/capserver"
 	"repro/internal/cluster/casstore"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -76,6 +81,15 @@ type HarnessOptions struct {
 	// Workers, QueueDepth, CacheEntries configure each node's
 	// capserver (defaults: 2, 64, 1024).
 	Workers, QueueDepth, CacheEntries int
+	// Trace turns on request tracing: every incarnation gets its own
+	// tracer (seeded with its generation number, so a restart cannot
+	// replay IDs), and the run ends by analyzing the merged spans and
+	// reconciling them against the routing counters.
+	Trace bool
+	// TraceDir, when set, implies Trace and writes each member's
+	// merged trace to <dir>/<member>.jsonl plus the per-member routing
+	// counters to <dir>/counters.json — the capstat CLI's input.
+	TraceDir string
 	// Out receives progress lines (default: discard).
 	Out io.Writer
 }
@@ -117,6 +131,9 @@ func (o HarnessOptions) withDefaults() HarnessOptions {
 	if o.CacheEntries <= 0 {
 		o.CacheEntries = 1024
 	}
+	if o.TraceDir != "" {
+		o.Trace = true
+	}
 	if o.Out == nil {
 		o.Out = io.Discard
 	}
@@ -134,6 +151,7 @@ type NodeCounters struct {
 	Retries    int64  `json:"retries"`
 	PeerErrors int64  `json:"peer_errors"`
 	Degraded   int64  `json:"degraded"`
+	Remote     int64  `json:"remote"`
 }
 
 // Convergence is the post-restart cache-convergence check: every
@@ -163,6 +181,12 @@ type HarnessReport struct {
 	Nodes       []NodeCounters `json:"nodes"`
 	Convergence Convergence    `json:"convergence"`
 
+	// Trace is the capstat verdict over the run's merged spans (traced
+	// runs only), and TraceMismatches its reconciliation against the
+	// routing counters — both must be clean for Assert to pass.
+	Trace           *TraceCheck `json:"trace,omitempty"`
+	TraceMismatches []string    `json:"trace_mismatches,omitempty"`
+
 	StoreEntries int           `json:"store_entries"`
 	Wall         time.Duration `json:"-"`
 }
@@ -186,8 +210,18 @@ func (r *HarnessReport) Totals() NodeCounters {
 		t.Retries += n.Retries
 		t.PeerErrors += n.PeerErrors
 		t.Degraded += n.Degraded
+		t.Remote += n.Remote
 	}
 	return t
+}
+
+// CountersByName indexes the per-member counters for reconciliation.
+func (r *HarnessReport) CountersByName() map[string]NodeCounters {
+	m := make(map[string]NodeCounters, len(r.Nodes))
+	for _, n := range r.Nodes {
+		m[n.Name] = n
+	}
+	return m
 }
 
 // Format renders the report for humans.
@@ -208,8 +242,12 @@ func (r *HarnessReport) Format(w io.Writer) {
 		fmt.Fprintf(w, "fault:      killed %s (restarted=%v)\n", r.Killed, r.Restarted)
 	}
 	for _, n := range append(r.Nodes, r.Totals()) {
-		fmt.Fprintf(w, "node %-6s owned=%-4d fwd=%-4d hedge=%d/%d retry=%-3d peer_err=%-3d degraded=%d\n",
-			n.Name, n.OwnedLocal, n.Forwards, n.HedgeWins, n.Hedges, n.Retries, n.PeerErrors, n.Degraded)
+		fmt.Fprintf(w, "node %-6s owned=%-4d fwd=%-4d hedge=%d/%d retry=%-3d peer_err=%-3d degraded=%d remote=%d\n",
+			n.Name, n.OwnedLocal, n.Forwards, n.HedgeWins, n.Hedges, n.Retries, n.PeerErrors, n.Degraded, n.Remote)
+	}
+	if r.Trace != nil {
+		fmt.Fprintf(w, "trace:      %d requests, %d spans, %d violations, %d counter mismatches\n",
+			r.Trace.Requests, r.Trace.Spans, len(r.Trace.Violations), len(r.TraceMismatches))
 	}
 	if r.Restarted {
 		c := r.Convergence
@@ -256,10 +294,31 @@ func (r *HarnessReport) Assert() error {
 			fails = append(fails, fmt.Sprintf("%d convergence probes failed", c.Errors))
 		}
 	}
+	if r.Trace != nil {
+		if r.Trace.Spans == 0 {
+			fails = append(fails, "tracing was on but no span was recorded")
+		}
+		for _, v := range r.Trace.Violations {
+			fails = append(fails, "trace invariant: "+v)
+		}
+		for _, m := range r.TraceMismatches {
+			fails = append(fails, "trace/counter mismatch: "+m)
+		}
+	}
 	if len(fails) > 0 {
 		return fmt.Errorf("cluster: harness assertions failed:\n  %s", strings.Join(fails, "\n  "))
 	}
 	return nil
+}
+
+// incarnation is the observable state of one member generation: its
+// routing counters and, on traced runs, its tracer and span buffer. A
+// killed-and-restarted member has two; the report sums and merges all
+// of them.
+type incarnation struct {
+	metrics *Metrics
+	tracer  *obs.Tracer
+	buf     *bytes.Buffer
 }
 
 // proc is one running node incarnation.
@@ -318,9 +377,9 @@ func RunHarness(o HarnessOptions) (*HarnessReport, error) {
 		PeerTimeout: 30 * time.Second,
 	}
 
-	// retired collects the metrics and store stats of replaced
-	// incarnations so the report sums a member's whole history.
-	retired := make(map[string][]*Metrics)
+	// incarnations collects every generation of every member — current
+	// and replaced — so the report sums a member's whole history.
+	incarnations := make(map[string][]*incarnation)
 	startNode := func(name string, l net.Listener) (*proc, error) {
 		st, err := casstore.Open(storeDir)
 		if err != nil {
@@ -332,10 +391,22 @@ func RunHarness(o HarnessOptions) (*HarnessReport, error) {
 		ncfg := nodeCfg
 		ncfg.Self = name
 		ncfg.Metrics = nil // fresh counters per incarnation
+		inc := &incarnation{}
+		if o.Trace {
+			// The generation number seeds the incarnation's trace IDs: a
+			// restart resets the per-node sequence, and a distinct seed is
+			// what keeps the new incarnation's IDs disjoint from the old.
+			inc.buf = &bytes.Buffer{}
+			inc.tracer = obs.NewTracer(inc.buf)
+			ncfg.Tracer = inc.tracer
+			ncfg.TraceSeed = uint64(len(incarnations[name]) + 1)
+		}
 		node, err := NewNode(srv, ncfg)
 		if err != nil {
 			return nil, err
 		}
+		inc.metrics = node.Metrics()
+		incarnations[name] = append(incarnations[name], inc)
 		p := &proc{
 			name:  name,
 			addr:  l.Addr().String(),
@@ -424,7 +495,6 @@ func RunHarness(o HarnessOptions) (*HarnessReport, error) {
 			p := procs[killName]
 			_ = p.hsrv.Close()
 			p.dead = true
-			retired[killName] = append(retired[killName], p.node.Metrics())
 			report.Killed = killName
 			fmt.Fprintf(o.Out, "request %d: killed %s (%s)\n", i, killName, p.addr)
 		}
@@ -528,14 +598,31 @@ func RunHarness(o HarnessOptions) (*HarnessReport, error) {
 		}
 	}
 
+	// On traced runs, quiesce before reading counters and spans: a
+	// hedge loser or backoff-waiting retry goroutine can increment its
+	// counter and emit its span microseconds after the client already
+	// has the response, and reconciliation demands both sides of every
+	// such pair land in the snapshot. The settle bounds those
+	// stragglers (their contexts are canceled; backoffs are
+	// milliseconds), and the graceful shutdown then drains every
+	// still-running handler so nothing races the collection.
+	if o.Trace {
+		time.Sleep(300 * time.Millisecond)
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		for _, name := range sortedNames {
+			if p := procs[name]; !p.dead {
+				_ = p.hsrv.Shutdown(sctx)
+				p.dead = true
+			}
+		}
+		cancel()
+	}
+
 	// Per-member counters across every incarnation.
 	for _, name := range sortedNames {
 		c := NodeCounters{Name: name}
-		metrics := append([]*Metrics(nil), retired[name]...)
-		if p := procs[name]; !p.dead {
-			metrics = append(metrics, p.node.Metrics())
-		}
-		for _, m := range metrics {
+		for _, inc := range incarnations[name] {
+			m := inc.metrics
 			c.OwnedLocal += m.OwnedLocal()
 			c.Forwards += m.Forwards()
 			c.Hedges += m.Hedges()
@@ -543,8 +630,40 @@ func RunHarness(o HarnessOptions) (*HarnessReport, error) {
 			c.Retries += m.Retries()
 			c.PeerErrors += m.PeerErrors()
 			c.Degraded += m.Degraded()
+			c.Remote += m.Remote()
 		}
 		report.Nodes = append(report.Nodes, c)
+	}
+
+	// Merge each member's incarnation traces, analyze, and reconcile
+	// against the counters just read.
+	if o.Trace {
+		traces := make(map[string][]byte, len(sortedNames))
+		var allSpans []obs.ReqSpan
+		for _, name := range sortedNames {
+			var merged bytes.Buffer
+			for _, inc := range incarnations[name] {
+				if err := inc.tracer.Flush(); err != nil {
+					return nil, fmt.Errorf("cluster: flushing %s trace: %v", name, err)
+				}
+				merged.Write(inc.buf.Bytes())
+			}
+			traces[name] = append([]byte(nil), merged.Bytes()...)
+			spans, err := obs.ReadReqSpans(&merged)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: parsing %s trace: %v", name, err)
+			}
+			allSpans = append(allSpans, spans...)
+		}
+		check := AnalyzeSpans(allSpans)
+		report.Trace = &check
+		report.TraceMismatches = check.Reconcile(report.CountersByName())
+		if o.TraceDir != "" {
+			if err := writeTraceDir(o.TraceDir, traces, report.CountersByName()); err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(o.Out, "trace: wrote %d per-node files and counters.json to %s\n", len(traces), o.TraceDir)
+		}
 	}
 
 	if st, err := casstore.Open(storeDir); err == nil {
@@ -553,4 +672,24 @@ func RunHarness(o HarnessOptions) (*HarnessReport, error) {
 		}
 	}
 	return report, nil
+}
+
+// writeTraceDir lays the run's traces out the way cmd/capstat ingests
+// them: one JSONL trace per member plus the per-member routing
+// counters, so `capstat -counters <dir>/counters.json <dir>/*.jsonl`
+// replays exactly the reconciliation the harness just performed.
+func writeTraceDir(dir string, traces map[string][]byte, counters map[string]NodeCounters) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, data := range traces {
+		if err := os.WriteFile(filepath.Join(dir, name+".jsonl"), data, 0o644); err != nil {
+			return err
+		}
+	}
+	body, err := json.MarshalIndent(counters, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "counters.json"), append(body, '\n'), 0o644)
 }

@@ -17,6 +17,7 @@ type Metrics struct {
 	retries    *obs.Counter
 	peerErrors *obs.Counter
 	degraded   *obs.Counter
+	remote     *obs.Counter
 }
 
 // NewMetrics registers the node's metric families on reg (a nil reg
@@ -36,6 +37,7 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		retries:    reg.Counter("cluster_retry_total"),
 		peerErrors: reg.Counter("cluster_peer_errors_total"),
 		degraded:   reg.Counter("cluster_degraded_total"),
+		remote:     reg.Counter("cluster_remote_serve_total"),
 	}
 }
 
@@ -66,3 +68,11 @@ func (m *Metrics) PeerErrors() int64 { return m.peerErrors.Value() }
 // Degraded returns the number of requests that fell back to local
 // compute because the owning shard was unreachable.
 func (m *Metrics) Degraded() int64 { return m.degraded.Value() }
+
+// Remote returns the number of traced pre-routed requests this node
+// served on behalf of a forwarding origin. It counts only requests
+// carrying a trace ID — it is the counter twin of the "remote" span,
+// so trace-derived remote totals reconcile against it exactly while
+// untraced probes (the harness's convergence checks) stay invisible
+// to both.
+func (m *Metrics) Remote() int64 { return m.remote.Value() }

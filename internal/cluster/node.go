@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Forwarding headers. ForwardedHeader marks a request that has
@@ -58,6 +61,20 @@ type Config struct {
 	// register on — pass the wrapped capserver's registry to serve one
 	// /metrics page for both layers.
 	Metrics *Metrics
+	// Tracer, when non-nil, records one request span per hop this node
+	// takes part in (DESIGN.md §12). Nil keeps the untraced fast path:
+	// no IDs are minted, incoming trace headers are stripped, and the
+	// owned-local serve adds zero allocations.
+	Tracer *obs.Tracer
+	// TraceSeed distinguishes incarnations of the same member in trace
+	// IDs: a restarted node begins its span sequence at 1 again, so the
+	// process that restarts it must hand the new incarnation a fresh
+	// seed or replayed IDs would collide.
+	TraceSeed uint64
+	// StatusTimeout bounds each peer probe of the /v1/cluster/status
+	// fan-out (default 2s). A member that cannot answer within it is
+	// reported unreachable in a partial snapshot, never an error.
+	StatusTimeout time.Duration
 }
 
 // withDefaults fills unset fields.
@@ -76,6 +93,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PeerTimeout <= 0 {
 		c.PeerTimeout = 30 * time.Second
+	}
+	if c.StatusTimeout <= 0 {
+		c.StatusTimeout = 2 * time.Second
 	}
 	if c.Client == nil {
 		c.Client = &http.Client{Timeout: c.PeerTimeout}
@@ -101,6 +121,8 @@ type Node struct {
 	ring    *Ring
 	local   localServer
 	metrics *Metrics
+	// seq numbers the requests this node originates, for trace IDs.
+	seq atomic.Uint64
 }
 
 // NewNode builds the router for Self within the membership.
@@ -136,11 +158,29 @@ func (n *Node) Ring() *Ring { return n.ring }
 func (n *Node) Handler() http.Handler { return http.HandlerFunc(n.serveHTTP) }
 
 func (n *Node) serveHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.Header.Get(ForwardedHeader) != "" {
-		// Pre-routed: serve locally, never forward again.
+	if r.URL.Path == StatusPath {
+		n.serveStatus(w, r)
+		return
+	}
+	if origin := r.Header.Get(ForwardedHeader); origin != "" {
+		// Pre-routed: serve locally, never forward again. A trace ID on
+		// the hop is trusted — the forwarding origin minted it — and
+		// recorded as a remote span; without one (tracing off, or an
+		// untraced probe) the header is stripped so a stale ID cannot
+		// leak into the response.
+		if id := r.Header.Get(obs.TraceHeader); id != "" && n.cfg.Tracer.Enabled() {
+			n.metrics.remote.Inc()
+			n.serveTraced(w, r, id, obs.PathRemote, origin)
+			return
+		}
+		r.Header.Del(obs.TraceHeader)
 		n.local.Handler().ServeHTTP(w, r)
 		return
 	}
+	// This node is the request's origin: it mints the trace ID itself,
+	// so a client-supplied one is always stripped (spoofed IDs must not
+	// enter the cluster's accounting).
+	r.Header.Del(obs.TraceHeader)
 	key, ok := n.local.Canonicalize(r)
 	if !ok {
 		n.local.Handler().ServeHTTP(w, r)
@@ -149,10 +189,18 @@ func (n *Node) serveHTTP(w http.ResponseWriter, r *http.Request) {
 	owner := n.ring.Owner(key)
 	if owner == n.cfg.Self {
 		n.metrics.ownedLocal.Inc()
+		if n.cfg.Tracer.Enabled() {
+			n.serveTraced(w, r, n.requestID(key), obs.PathOwned, "")
+			return
+		}
 		n.local.Handler().ServeHTTP(w, r)
 		return
 	}
-	n.forward(w, r, key, owner)
+	id := ""
+	if n.cfg.Tracer.Enabled() {
+		id = n.requestID(key)
+	}
+	n.forward(w, r, key, owner, id)
 }
 
 // peerResult is one peer attempt's outcome.
@@ -170,7 +218,11 @@ type peerResult struct {
 // request at the next replica once the deterministic hedge delay
 // elapses, and local degraded compute if every peer path fails. The
 // first successful response wins; the loser's context is canceled.
-func (n *Node) forward(w http.ResponseWriter, r *http.Request, key, owner string) {
+// A non-empty id traces the attempt: spans are emitted at the same
+// program points the counters increment (hedge at the timer, retry in
+// tryPeer, the forward outcome in writePeerResponse or degrade), which
+// is what lets capstat reconcile trace totals against counters exactly.
+func (n *Node) forward(w http.ResponseWriter, r *http.Request, key, owner, id string) {
 	n.metrics.forwards.Inc()
 	uri := r.URL.RequestURI()
 	pctx, cancel := context.WithCancel(r.Context())
@@ -178,7 +230,7 @@ func (n *Node) forward(w http.ResponseWriter, r *http.Request, key, owner string
 
 	results := make(chan peerResult, 2)
 	go func() {
-		results <- n.tryPeer(pctx, owner, uri, n.cfg.PeerAttempts, false)
+		results <- n.tryPeer(pctx, owner, uri, n.cfg.PeerAttempts, false, id)
 	}()
 	inflight := 1
 
@@ -208,7 +260,7 @@ race:
 				if res.hedged {
 					n.metrics.hedgeWins.Inc()
 				}
-				n.writePeerResponse(w, res)
+				n.writePeerResponse(w, res, owner, id)
 				return
 			}
 			n.metrics.peerErrors.Inc()
@@ -219,9 +271,14 @@ race:
 		case <-hedgeTimer:
 			hedgeTimer = nil
 			n.metrics.hedges.Inc()
+			if id != "" {
+				n.cfg.Tracer.ReqSpan(obs.ReqSpan{
+					ID: id, Node: n.cfg.Self, Path: obs.PathHedge, Peer: hedge,
+				})
+			}
 			inflight++
 			go func() {
-				results <- n.tryPeer(pctx, hedge, uri, 1, true)
+				results <- n.tryPeer(pctx, hedge, uri, 1, true, id)
 			}()
 		case <-r.Context().Done():
 			// The client is gone; the local handler translates the
@@ -229,15 +286,24 @@ race:
 			break race
 		}
 	}
-	n.degrade(w, r, owner)
+	n.degrade(w, r, owner, id)
 }
 
 // degrade serves a non-owned key locally because the owning shard is
 // unreachable, marking the response so clients and the harness can
-// see the fallback.
-func (n *Node) degrade(w http.ResponseWriter, r *http.Request, owner string) {
+// see the fallback. On a traced request, the failed routing attempt
+// closes with a winnerless forward span and the local fallback serve
+// records the terminal degraded span.
+func (n *Node) degrade(w http.ResponseWriter, r *http.Request, owner, id string) {
 	n.metrics.degraded.Inc()
 	w.Header().Set(DegradedHeader, owner)
+	if id != "" {
+		n.cfg.Tracer.ReqSpan(obs.ReqSpan{
+			ID: id, Node: n.cfg.Self, Path: obs.PathForward, Peer: owner,
+		})
+		n.serveTraced(w, r, id, obs.PathDegraded, owner)
+		return
+	}
 	n.local.Handler().ServeHTTP(w, r)
 }
 
@@ -255,12 +321,17 @@ func retryableStatus(code int) bool {
 
 // tryPeer runs up to attempts round trips against one peer with
 // deterministic exponential backoff between them (base << attempt).
-func (n *Node) tryPeer(ctx context.Context, peer, uri string, attempts int, hedged bool) peerResult {
+func (n *Node) tryPeer(ctx context.Context, peer, uri string, attempts int, hedged bool, id string) peerResult {
 	base := n.cfg.Membership.URL(peer)
 	var last peerResult
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			n.metrics.retries.Inc()
+			if id != "" {
+				n.cfg.Tracer.ReqSpan(obs.ReqSpan{
+					ID: id, Node: n.cfg.Self, Path: obs.PathRetry, Peer: peer,
+				})
+			}
 			backoff := n.cfg.PeerBackoff << (attempt - 1)
 			select {
 			case <-time.After(backoff):
@@ -268,7 +339,7 @@ func (n *Node) tryPeer(ctx context.Context, peer, uri string, attempts int, hedg
 				return peerResult{peer: peer, hedged: hedged, err: ctx.Err()}
 			}
 		}
-		last = n.roundTrip(ctx, base, peer, uri, hedged)
+		last = n.roundTrip(ctx, base, peer, uri, hedged, id)
 		if last.err == nil {
 			return last
 		}
@@ -279,12 +350,15 @@ func (n *Node) tryPeer(ctx context.Context, peer, uri string, attempts int, hedg
 // roundTrip performs one forwarded request. Retryable statuses come
 // back as errors; every other status is the peer's authoritative,
 // deterministic answer (a 400 or 500 would be byte-identical locally).
-func (n *Node) roundTrip(ctx context.Context, base, peer, uri string, hedged bool) peerResult {
+func (n *Node) roundTrip(ctx context.Context, base, peer, uri string, hedged bool, id string) peerResult {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+uri, nil)
 	if err != nil {
 		return peerResult{peer: peer, hedged: hedged, err: err}
 	}
 	req.Header.Set(ForwardedHeader, n.cfg.Self)
+	if id != "" {
+		req.Header.Set(obs.TraceHeader, id)
+	}
 	resp, err := n.cfg.Client.Do(req)
 	if err != nil {
 		return peerResult{peer: peer, hedged: hedged, err: err}
@@ -301,8 +375,10 @@ func (n *Node) roundTrip(ctx context.Context, base, peer, uri string, hedged boo
 }
 
 // writePeerResponse relays a peer's answer, preserving the serving
-// headers and adding the routing trail.
-func (n *Node) writePeerResponse(w http.ResponseWriter, res peerResult) {
+// headers and adding the routing trail. On a traced request it also
+// records the terminal forward span: the routed owner, the peer whose
+// answer actually came back (winner), and whether the hedge won.
+func (n *Node) writePeerResponse(w http.ResponseWriter, res peerResult, owner, id string) {
 	h := w.Header()
 	if ct := res.header.Get("Content-Type"); ct != "" {
 		h.Set("Content-Type", ct)
@@ -313,6 +389,23 @@ func (n *Node) writePeerResponse(w http.ResponseWriter, res peerResult) {
 	h.Set(PeerHeader, res.peer)
 	if res.hedged {
 		h.Set(HedgeHeader, "1")
+	}
+	if id != "" {
+		h.Set(obs.TraceHeader, id)
+		var hedge int64
+		if res.hedged {
+			hedge = 1
+		}
+		n.cfg.Tracer.ReqSpan(obs.ReqSpan{
+			ID:     id,
+			Node:   n.cfg.Self,
+			Path:   obs.PathForward,
+			Peer:   owner,
+			Winner: res.peer,
+			Hedge:  hedge,
+			Status: int64(res.status),
+			Cache:  res.header.Get("X-Capserver-Cache"),
+		})
 	}
 	w.WriteHeader(res.status)
 	_, _ = w.Write(res.body)

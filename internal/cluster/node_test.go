@@ -21,6 +21,7 @@ type fakeLocal struct {
 	mu        sync.Mutex
 	computes  int
 	forwarded []string // ForwardedHeader values seen
+	traced    []string // TraceHeader values seen (including "")
 }
 
 func (f *fakeLocal) Canonicalize(r *http.Request) (string, bool) {
@@ -35,6 +36,7 @@ func (f *fakeLocal) Handler() http.Handler {
 		f.mu.Lock()
 		f.computes++
 		f.forwarded = append(f.forwarded, r.Header.Get(ForwardedHeader))
+		f.traced = append(f.traced, r.Header.Get(TraceHeader))
 		f.mu.Unlock()
 		if f.delay > 0 {
 			time.Sleep(f.delay)
@@ -53,6 +55,14 @@ func (f *fakeLocal) snapshot() (int, []string) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.computes, append([]string(nil), f.forwarded...)
+}
+
+// tracedSeen returns the TraceHeader value of every request the local
+// handler served, in order.
+func (f *fakeLocal) tracedSeen() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.traced...)
 }
 
 // testCluster is three nodes over httptest servers sharing one

@@ -114,6 +114,34 @@ func (r *Ring) Replicas(key string, n int) []string {
 	return out
 }
 
+// OwnershipPermille returns each member's share of the key space in
+// permille (tenths of a percent), from the widths of the arcs its
+// virtual points own. Widths accumulate in float64: the arcs of a ring
+// sum to exactly 2^64, which a uint64 accumulator would wrap to zero
+// (a one-member ring owns the whole circle in a single arc). The loss
+// of integer precision is irrelevant at permille resolution. Every
+// member appears in the result, even at share 0; the map is a pure
+// function of the membership, so every node federates the same arcs.
+func (r *Ring) OwnershipPermille() map[string]int64 {
+	share := make(map[string]float64, len(r.names))
+	for i := range r.hashes {
+		// Width of the arc ending at point i: distance from the previous
+		// point, wrapping at the top of the circle. Unsigned subtraction
+		// wraps correctly for the first point.
+		width := r.hashes[i] - r.hashes[(i+len(r.hashes)-1)%len(r.hashes)]
+		if len(r.hashes) == 1 {
+			width = ^uint64(0) // a single point owns the full circle
+		}
+		share[r.names[r.owner[i]]] += float64(width)
+	}
+	const circle = float64(1<<63) * 2
+	out := make(map[string]int64, len(r.names))
+	for _, name := range r.names {
+		out[name] = int64(share[name] / circle * 1000)
+	}
+	return out
+}
+
 // fnv64 is the 64-bit FNV-1a hash run through a splitmix64-style
 // avalanche finalizer. Both stages use explicit constants so the hash
 // is stable across processes, platforms and Go releases, which

@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/capserver"
+	"repro/internal/obs"
+)
+
+// TraceHeader re-exports the cross-hop trace-ID header for callers
+// that configure clusters without importing internal/obs.
+const TraceHeader = obs.TraceHeader
+
+// requestID derives the deterministic trace ID for a request this node
+// originates (DESIGN.md §12):
+//
+//	<self>-<seed>.<seq>-<keyhash>
+//
+// Self and a per-node atomic sequence make IDs unique across the
+// cluster without coordination; TraceSeed distinguishes incarnations
+// of the same member (a restart resets the sequence, and the fault
+// harness bumps the seed per restart so replayed sequence numbers
+// cannot collide); the low 32 bits of the key's ring hash tie the ID
+// to the key it routed, which is what lets capstat group hops into
+// per-request chains and still spot a span attributed to the wrong
+// request. No wall clock, no randomness: a seeded harness run yields
+// the same ID sequence every time.
+func (n *Node) requestID(key string) string {
+	return fmt.Sprintf("%s-%d.%d-%08x",
+		n.cfg.Self, n.cfg.TraceSeed, n.seq.Add(1), uint32(fnv64(key)))
+}
+
+// statusRecorder captures the status code the local handler writes,
+// for the hop's span.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// headerUS parses a microsecond-valued trace header set by the local
+// capserver (0 when absent or malformed).
+func headerUS(h http.Header, name string) int64 {
+	v := h.Get(name)
+	if v == "" {
+		return 0
+	}
+	var us int64
+	if _, err := fmt.Sscanf(v, "%d", &us); err != nil {
+		return 0
+	}
+	return us
+}
+
+// serveTraced serves a request through the local capserver and records
+// the hop as a span: the trace ID rides the request (so capserver
+// exposes its queue/compute split) and the response (so clients and
+// the harness can correlate), and the span captures the hop's status,
+// cache class and timing split. peer carries path-specific context:
+// the forwarding origin on a remote hop, the unreachable owner on a
+// degraded hop, empty on an owned hop.
+func (n *Node) serveTraced(w http.ResponseWriter, r *http.Request, id, path, peer string) {
+	r.Header.Set(obs.TraceHeader, id)
+	w.Header().Set(obs.TraceHeader, id)
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	n.local.Handler().ServeHTTP(rec, r)
+	h := w.Header()
+	n.cfg.Tracer.ReqSpan(obs.ReqSpan{
+		ID:        id,
+		Node:      n.cfg.Self,
+		Path:      path,
+		Peer:      peer,
+		Status:    int64(rec.status),
+		Cache:     h.Get(capserver.CacheHeader),
+		QueueUS:   headerUS(h, capserver.TraceQueueHeader),
+		ComputeUS: headerUS(h, capserver.TraceComputeHeader),
+		ServeUS:   time.Since(start).Microseconds(),
+	})
+}

@@ -196,6 +196,24 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return &Gauge{c: r.register(name, gaugeKind, nil).cell(nil)}
 }
 
+// GaugeVec is a labeled gauge family. Its first use in this repository
+// is the capserver_build_info constant metric, which follows the
+// Prometheus build-info convention: the interesting values live in the
+// labels and the sample is pinned to 1.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or retrieves) a gauge family with the given
+// label names.
+func (r *Registry) GaugeVec(name string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, gaugeKind, labels)}
+}
+
+// With returns the gauge for the given label values, creating the
+// series on first use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return &Gauge{c: v.f.cell(values)}
+}
+
 // GaugeFunc registers a gauge whose value is sampled from fn at scrape
 // time, for quantities owned elsewhere (queue depths, cache sizes).
 func (r *Registry) GaugeFunc(name string, fn func() int64) {
@@ -242,12 +260,38 @@ func (v *LatencyVec) Total(value string) int64 {
 	return int64(c.hist.Total())
 }
 
+// Quantile returns the q-th latency quantile in milliseconds for the
+// label value, by the same upper-bin-edge rule the exposition uses
+// (see quantileUpperMS, including its q<=0 / q>=1 / empty-histogram
+// edge behavior). An absent series returns 0 without materializing it.
+func (v *LatencyVec) Quantile(value string, q float64) float64 {
+	c := v.f.peek([]string{value})
+	if c == nil {
+		return 0
+	}
+	c.histMu.Lock()
+	counts, total := c.hist.Counts(), c.hist.Total()
+	c.histMu.Unlock()
+	return quantileUpperMS(counts, total, q)
+}
+
 // quantileUpperMS approximates the q-th latency quantile in
 // milliseconds from the log-binned histogram (upper bin edge, a
-// conservative estimate). It returns 0 when the histogram is empty.
+// conservative estimate). Edge behavior, pinned by tests:
+//
+//   - an empty histogram returns 0 — no observations, no estimate;
+//   - q <= 0 returns the upper edge of the first occupied bucket (the
+//     smallest value the histogram can attribute any mass to — the
+//     rank is clamped to the first observation, never "below" it);
+//   - q >= 1 returns the upper edge of the last occupied bucket (q is
+//     clamped to 1, so an out-of-range quantile never reports the
+//     histogram's global upper bound when all mass sits lower).
 func quantileUpperMS(counts []int, total int, q float64) float64 {
 	if total == 0 {
 		return 0
+	}
+	if q > 1 {
+		q = 1
 	}
 	target := int(math.Ceil(q * float64(total)))
 	if target < 1 {

@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// RegisterRuntimeMetrics registers process self-observation on r,
+// sampled at scrape time via GaugeFunc: goroutine count, live heap
+// bytes, completed GC cycles, and whole seconds since start. The
+// values are scrape-time samples and therefore exempt from the
+// byte-identical exposition contract every other family honors —
+// consumers that need deterministic snapshots (the cluster status
+// federation, the exposition golden test) filter on the process_
+// prefix. Registering twice on one registry is idempotent, matching
+// the registry's re-registration rule.
+func RegisterRuntimeMetrics(r *Registry, start time.Time) {
+	r.GaugeFunc("process_goroutines", func() int64 {
+		return int64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("process_heap_alloc_bytes", func() int64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return int64(ms.HeapAlloc)
+	})
+	r.GaugeFunc("process_gc_cycles_total", func() int64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return int64(ms.NumGC)
+	})
+	r.GaugeFunc("process_uptime_seconds", func() int64 {
+		return int64(time.Since(start) / time.Second)
+	})
+}
