@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race race-hostile race-obs fuzz-smoke bench-smoke serve-smoke trace-smoke cluster-smoke trace-cluster-smoke bench bench-json bench-cluster
+.PHONY: ci fmt vet build test race race-hostile race-obs fuzz-smoke bench-smoke serve-smoke trace-smoke cluster-smoke trace-cluster-smoke sessions-smoke bench bench-json bench-cluster bench-sessions
 
-ci: fmt vet build test race race-hostile race-obs fuzz-smoke bench-smoke serve-smoke trace-smoke cluster-smoke trace-cluster-smoke
+ci: fmt vet build test race race-hostile race-obs fuzz-smoke bench-smoke serve-smoke trace-smoke cluster-smoke trace-cluster-smoke sessions-smoke
 
 # gofmt -l prints offending files; fail if it prints anything.
 fmt:
@@ -40,7 +40,7 @@ race-hostile:
 # fast path must stay equivalent to the observed per-use path, and the
 # cluster router races hedges against primaries by design.
 race-obs:
-	$(GO) test -race ./internal/obs/... ./internal/capserver/... ./internal/channel/... ./internal/cluster/... ./cmd/capstat/...
+	$(GO) test -race ./internal/obs/... ./internal/capserver/... ./internal/channel/... ./internal/cluster/... ./internal/session/... ./cmd/capstat/...
 
 # 30 seconds per native fuzz target: the Definition 1 trace invariants
 # and the fault-spec grammar. Regressions the unit corpus misses show
@@ -48,6 +48,7 @@ race-obs:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDeletionInsertionTransmit$$' -fuzztime 30s ./internal/channel
 	$(GO) test -run '^$$' -fuzz '^FuzzParseSpec$$' -fuzztime 30s ./internal/faultinject
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeBatch$$' -fuzztime 30s ./internal/session
 
 # One iteration of the serial/parallel batch benchmarks, as a smoke
 # test that the benchmark harness itself still runs; then a smoke run of
@@ -60,6 +61,10 @@ bench-smoke:
 	$(GO) run ./cmd/kernelbench -check "$$tmp" && \
 	$(GO) run ./cmd/kernelbench -check BENCH_kernels.json
 	$(GO) run ./cmd/capload -mode cluster-check BENCH_cluster.json
+	@tmp="$$(mktemp)"; trap 'rm -f "$$tmp"' EXIT; \
+	$(GO) run ./cmd/sessload -mode run -sessions 400 -seed 7 -bench-out "$$tmp" -assert && \
+	$(GO) run ./cmd/sessload -mode check -min-sessions 400 "$$tmp" && \
+	$(GO) run ./cmd/sessload -mode check BENCH_sessions.json
 	$(GO) test -run '^TestOwnedFastPathZeroAlloc$$' -v ./internal/cluster
 
 # Serving gate: boot a capserver in-process on an ephemeral port, hit
@@ -77,6 +82,20 @@ cluster-smoke:
 	$(GO) run ./cmd/capload -mode cluster -cluster n1,n2,n3 \
 		-requests 90 -unique 8 -exact-n 8 \
 		-kill-after 30 -restart-after 60 -assert
+
+# Session gate, two legs. First a seeded in-process drift run: 2000
+# streaming sessions, every tenth switching to an injected drift regime
+# halfway through; -assert fails unless the online estimators converge
+# to the planted parameters, the change-point detector flags the drift
+# inside the drift window (i.e. before the equivalent offline analysis
+# window closes), and clean-phase false alarms stay under 2%. Then the
+# cluster leg: sessions sharded across a 3-node ring with an owner
+# killed and restarted mid-run, asserting single ownership, honest 502s
+# during the outage, full drain afterwards, and cross-node read
+# identity.
+sessions-smoke:
+	$(GO) run ./cmd/sessload -mode run -sessions 2000 -seed 11 -assert
+	$(GO) run ./cmd/sessload -mode cluster -cluster n1,n2,n3 -assert
 
 # Observability gate: record a seeded channel-use trace with chansim,
 # re-estimate (Pd, Pi, Ps) from it with tracecap, and assert the
@@ -122,3 +141,10 @@ bench-cluster:
 	$(GO) run ./cmd/capload -mode cluster -cluster n1,n2,n3 \
 		-requests 240 -unique 12 -exact-n 8 -assert \
 		-bench-out BENCH_cluster.json
+
+# Full session load run: rewrites BENCH_sessions.json, the committed
+# record of the 10^5-concurrent-session acceptance run (throughput,
+# convergence, drift-detection delay).
+bench-sessions:
+	$(GO) run ./cmd/sessload -mode run -sessions 100000 -assert \
+		-bench-out BENCH_sessions.json

@@ -66,6 +66,10 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 		drain   = fs.Duration("drain", 30*time.Second, "graceful shutdown budget")
 		maxSym  = fs.Int("max-symbols", 200000, "largest simulate/experiment message length served")
 
+		sessTTL = fs.Duration("session-ttl", 0, "evict streaming sessions idle this long (0 = default 15m, negative = never)")
+		maxSess = fs.Int("max-sessions", 0, "cap on concurrently live streaming sessions (0 = default 1<<20)")
+		sessBat = fs.Int("max-session-batch", 0, "events per session ingest batch (0 = default 65536)")
+
 		storeDir    = fs.String("store", "", "content-addressed result store directory (shared across cluster members)")
 		clusterFlag = fs.String("cluster", "", "static cluster membership: n1=http://host1:8081,n2=http://host2:8081,...")
 		self        = fs.String("self", "", "this node's member name within -cluster")
@@ -94,6 +98,10 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 		RequestTimeout: *timeout,
 		MaxSymbols:     *maxSym,
 		Metrics:        reg,
+
+		SessionTTL:      *sessTTL,
+		MaxSessions:     *maxSess,
+		MaxSessionBatch: *sessBat,
 	}
 	if *storeDir != "" {
 		st, err := casstore.Open(*storeDir)

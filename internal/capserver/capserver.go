@@ -13,12 +13,20 @@
 //     bounds (internal/obs trace analysis);
 //   - GET /v1/experiments  the named experiments registry (catalog and
 //     seeded runs);
+//   - POST /v1/sessions/{id}/events and GET /v1/sessions[/{id}]
+//     streaming sessions: NDJSON per-use event ingest into online
+//     (Pd, Pi, Ps) estimators with change-point detection, read back
+//     with capacity bounds at the live estimate (internal/session,
+//     DESIGN.md §13);
 //   - GET /healthz, /metrics, /debug/pprof/ for operations.
 //
-// Every response body is a pure function of the request parameters:
-// computations are deterministic in their inputs (seeds are explicit
-// request parameters, wall-clock never leaks into a body), which is
-// what makes the serving core cacheable. The core is:
+// Every compute response body is a pure function of the request
+// parameters: computations are deterministic in their inputs (seeds
+// are explicit request parameters, wall-clock never leaks into a
+// body), which is what makes the serving core cacheable. Sessions are
+// the deliberate stateful exception — an ingest mutates the session it
+// names — but their capacity bounds still route through the cacheable
+// core at the quantized estimate. The core is:
 //
 //	request -> validate -> canonical key -> LRU cache
 //	        -> singleflight (concurrent identical requests compute once)
@@ -45,6 +53,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/session"
 )
 
 // Response headers the serving core attaches. CacheHeader carries the
@@ -105,6 +114,20 @@ type Config struct {
 	// Store, when non-nil, is the durable result store consulted on
 	// LRU misses and populated on computes (see ResultStore).
 	Store ResultStore
+
+	// SessionTTL evicts sessions idle this long from the /v1/sessions
+	// store (default 15m). Negative disables eviction.
+	SessionTTL time.Duration
+	// SessionSweep is the idle-eviction sweep interval (default 1m).
+	// Negative disables the janitor goroutine; tests drive
+	// Sessions().EvictIdle() directly for determinism.
+	SessionSweep time.Duration
+	// MaxSessions caps concurrently live sessions (default 1 << 20);
+	// ingest for new IDs beyond the cap answers 503.
+	MaxSessions int
+	// MaxSessionBatch caps events per session ingest batch
+	// (default 65536).
+	MaxSessionBatch int
 }
 
 // withDefaults fills unset fields.
@@ -130,6 +153,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchPoints <= 0 {
 		c.MaxBatchPoints = 256
 	}
+	if c.SessionSweep == 0 {
+		c.SessionSweep = time.Minute
+	}
 	return c
 }
 
@@ -143,6 +169,12 @@ type Server struct {
 	metrics  *Metrics
 	store    ResultStore
 	draining atomic.Bool
+
+	// sessions is the live session store behind /v1/sessions;
+	// stopJanitor halts its idle-eviction sweeper (set by New, called
+	// by Shutdown).
+	sessions    *session.Store
+	stopJanitor func()
 }
 
 // New builds a Server with the given configuration.
@@ -165,6 +197,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/simulate", s.handleCompute("simulate", s.buildSimulate))
 	s.mux.HandleFunc("GET /v1/trace", s.handleCompute("trace", s.buildTrace))
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	s.initSessions()
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -205,6 +238,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.httpSrv.Shutdown(ctx)
 	// By now no handler can submit new work; drain what was admitted.
 	s.pool.close()
+	s.stopJanitor()
 	return err
 }
 

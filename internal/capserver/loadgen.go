@@ -444,8 +444,79 @@ func Smoke(baseURL string, client *http.Client) error {
 			failures = append(failures, fmt.Sprintf("%s: body is not valid JSON", c.path))
 		}
 	}
+	if err := smokeSessions(baseURL, client); err != nil {
+		failures = append(failures, err.Error())
+	}
 	if len(failures) > 0 {
 		return fmt.Errorf("capserver: smoke failures:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// smokeSessions exercises the /v1/sessions surface: ingest an NDJSON
+// batch, read the session back with bounds, list it. The batch starts
+// after the session's current cursor so re-running Smoke against a
+// long-lived server stays valid.
+func smokeSessions(baseURL string, client *http.Client) error {
+	const id = "smoke-session"
+	last := int64(0)
+	if resp, err := client.Get(baseURL + "/v1/sessions/" + id); err == nil {
+		var prior struct {
+			LastUse int64 `json:"last_use"`
+		}
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&prior); err == nil {
+				last = prior.LastUse
+			}
+		}
+		_ = resp.Body.Close()
+	}
+	var batch strings.Builder
+	for i := int64(1); i <= 64; i++ {
+		kind, rest := "T", fmt.Sprintf(`"s":3,"r":3`)
+		if i%16 == 0 {
+			kind, rest = "D", `"s":3`
+		}
+		fmt.Fprintf(&batch, `{"u":%d,"k":%q,%s}`+"\n", last+i, kind, rest)
+	}
+	resp, err := client.Post(baseURL+"/v1/sessions/"+id+"/events", "application/x-ndjson", strings.NewReader(batch.String()))
+	if err != nil {
+		return fmt.Errorf("POST /v1/sessions/%s/events: %w", id, err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /v1/sessions/%s/events: status %d: %s", id, resp.StatusCode, body)
+	}
+	var ingest SessionIngestResponse
+	if err := json.Unmarshal(body, &ingest); err != nil || ingest.Applied != 64 {
+		return fmt.Errorf("POST /v1/sessions/%s/events: applied %d err %v", id, ingest.Applied, err)
+	}
+	resp, err = client.Get(baseURL + "/v1/sessions/" + id)
+	if err != nil {
+		return fmt.Errorf("GET /v1/sessions/%s: %w", id, err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /v1/sessions/%s: status %d: %s", id, resp.StatusCode, body)
+	}
+	var got SessionResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		return fmt.Errorf("GET /v1/sessions/%s: %v", id, err)
+	}
+	if got.Estimate.Uses < 64 || len(got.Bounds) == 0 {
+		return fmt.Errorf("GET /v1/sessions/%s: uses=%d bounds=%dB (skipped %q)",
+			id, got.Estimate.Uses, len(got.Bounds), got.BoundsSkipped)
+	}
+	resp, err = client.Get(baseURL + "/v1/sessions?limit=10")
+	if err != nil {
+		return fmt.Errorf("GET /v1/sessions: %w", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !json.Valid(body) {
+		return fmt.Errorf("GET /v1/sessions: status %d", resp.StatusCode)
 	}
 	return nil
 }

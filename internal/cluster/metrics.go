@@ -18,6 +18,16 @@ type Metrics struct {
 	peerErrors *obs.Counter
 	degraded   *obs.Counter
 	remote     *obs.Counter
+
+	// Session routing counters. Sessions are stateful, so their routing
+	// discipline differs from compute keys (no hedge, no degrade) and
+	// they get their own families, deliberately outside NodeCounters:
+	// capstat reconciles trace spans against the compute-routing
+	// counters only, and session traffic must not perturb that.
+	sessionOwned      *obs.Counter
+	sessionForwards   *obs.Counter
+	sessionRetries    *obs.Counter
+	sessionPeerErrors *obs.Counter
 }
 
 // NewMetrics registers the node's metric families on reg (a nil reg
@@ -38,6 +48,11 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		peerErrors: reg.Counter("cluster_peer_errors_total"),
 		degraded:   reg.Counter("cluster_degraded_total"),
 		remote:     reg.Counter("cluster_remote_serve_total"),
+
+		sessionOwned:      reg.Counter("cluster_session_owned_total"),
+		sessionForwards:   reg.Counter("cluster_session_forward_total"),
+		sessionRetries:    reg.Counter("cluster_session_retry_total"),
+		sessionPeerErrors: reg.Counter("cluster_session_peer_errors_total"),
 	}
 }
 
@@ -76,3 +91,22 @@ func (m *Metrics) Degraded() int64 { return m.degraded.Value() }
 // untraced probes (the harness's convergence checks) stay invisible
 // to both.
 func (m *Metrics) Remote() int64 { return m.remote.Value() }
+
+// SessionOwned returns the number of per-session requests this node
+// served as the session's ring owner.
+func (m *Metrics) SessionOwned() int64 { return m.sessionOwned.Value() }
+
+// SessionForwards returns the number of per-session requests forwarded
+// to their owning node.
+func (m *Metrics) SessionForwards() int64 { return m.sessionForwards.Value() }
+
+// SessionRetries returns the number of re-attempts of a forwarded
+// session read after a retryable failure (ingests never retry: a POST
+// is not idempotent through an ambiguous failure).
+func (m *Metrics) SessionRetries() int64 { return m.sessionRetries.Value() }
+
+// SessionPeerErrors returns the number of session forwards that failed
+// because the owning node was unreachable. Unlike compute keys there
+// is no degraded local fallback — session state lives only on the
+// owner, and serving it elsewhere would fork the session.
+func (m *Metrics) SessionPeerErrors() int64 { return m.sessionPeerErrors.Value() }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
@@ -8,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/capserver"
 	"repro/internal/obs"
 )
 
@@ -181,6 +183,10 @@ func (n *Node) serveHTTP(w http.ResponseWriter, r *http.Request) {
 	// so a client-supplied one is always stripped (spoofed IDs must not
 	// enter the cluster's accounting).
 	r.Header.Del(obs.TraceHeader)
+	if id, ok := capserver.SessionRouteID(r); ok {
+		n.routeSession(w, r, id)
+		return
+	}
 	key, ok := n.local.Canonicalize(r)
 	if !ok {
 		n.local.Handler().ServeHTTP(w, r)
@@ -201,6 +207,119 @@ func (n *Node) serveHTTP(w http.ResponseWriter, r *http.Request) {
 		id = n.requestID(key)
 	}
 	n.forward(w, r, key, owner, id)
+}
+
+// SessionRingKey is the ring keyspace prefix for session ownership.
+// Session keys live in the same ring as compute keys but a disjoint
+// namespace: "session/{id}" can never collide with an endpoint-
+// prefixed canonical cache key ("bounds?...").
+const SessionRingKey = "session/"
+
+// routeSession places one per-session request (ingest or snapshot
+// read) on the ring by session ID. Sessions are stateful, so the
+// discipline is stricter than for compute keys: the owner is the only
+// node that may serve the request. There is no hedge (a second node
+// would create a divergent twin of the session), no degraded local
+// fallback (same reason), and an ingest is never retried through an
+// ambiguous failure (a POST that may have landed must not be replayed
+// — the session's ordering check would reject it, but the client
+// deserves the first error, not a confusing 409). A dead owner
+// surfaces as 502; the store-backed restart path in the harness shows
+// the session resuming once the owner returns.
+func (n *Node) routeSession(w http.ResponseWriter, r *http.Request, id string) {
+	key := SessionRingKey + id
+	owner := n.ring.Owner(key)
+	if owner == n.cfg.Self {
+		n.metrics.sessionOwned.Inc()
+		n.local.Handler().ServeHTTP(w, r)
+		return
+	}
+	n.metrics.sessionForwards.Inc()
+	var body []byte
+	if r.Body != nil {
+		b, err := io.ReadAll(r.Body)
+		if err != nil {
+			writeJSONError(w, http.StatusBadRequest, fmt.Errorf("cluster: read request body: %w", err))
+			return
+		}
+		body = b
+	}
+	attempts := 1
+	if r.Method == http.MethodGet {
+		attempts = n.cfg.PeerAttempts
+	}
+	base := n.cfg.Membership.URL(owner)
+	uri := r.URL.RequestURI()
+	var last peerResult
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			n.metrics.sessionRetries.Inc()
+			backoff := n.cfg.PeerBackoff << (attempt - 1)
+			select {
+			case <-time.After(backoff):
+			case <-r.Context().Done():
+				writeJSONError(w, 499, r.Context().Err())
+				return
+			}
+		}
+		last = n.sessionRoundTrip(r, base, owner, uri, body)
+		if last.err == nil {
+			h := w.Header()
+			if ct := last.header.Get("Content-Type"); ct != "" {
+				h.Set("Content-Type", ct)
+			}
+			if ra := last.header.Get("Retry-After"); ra != "" {
+				h.Set("Retry-After", ra)
+			}
+			h.Set(PeerHeader, owner)
+			w.WriteHeader(last.status)
+			_, _ = w.Write(last.body)
+			return
+		}
+	}
+	n.metrics.sessionPeerErrors.Inc()
+	writeJSONError(w, http.StatusBadGateway,
+		fmt.Errorf("cluster: session owner %s unreachable: %v", owner, last.err))
+}
+
+// sessionRoundTrip performs one forwarded session request, preserving
+// the method and body. Only transport failures are errors; every HTTP
+// status — including 429/503 backpressure — is the owner's
+// authoritative answer about its own session state. (Retryable-status
+// laundering would be wrong here: a 503 from the owner means "this
+// session's node is shedding load", and no other node can answer
+// instead.)
+func (n *Node) sessionRoundTrip(r *http.Request, base, peer, uri string, body []byte) peerResult {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, base+uri, rd)
+	if err != nil {
+		return peerResult{peer: peer, err: err}
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	req.Header.Set(ForwardedHeader, n.cfg.Self)
+	resp, err := n.cfg.Client.Do(req)
+	if err != nil {
+		return peerResult{peer: peer, err: err}
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return peerResult{peer: peer, err: err}
+	}
+	return peerResult{status: resp.StatusCode, header: resp.Header, body: respBody, peer: peer}
+}
+
+// writeJSONError renders an error in capserver's JSON error envelope,
+// so cluster-originated failures read like local ones.
+func writeJSONError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, "{\"error\":%q}\n", err.Error())
 }
 
 // peerResult is one peer attempt's outcome.

@@ -1,0 +1,475 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/capserver"
+	"repro/internal/channel"
+	"repro/internal/rng"
+	"repro/internal/session"
+)
+
+// This file is the session-sharded counterpart of the fault harness in
+// harness.go, behind `sessload -mode cluster` and `make
+// sessions-smoke`: it stands up an N-node cluster, streams per-session
+// event batches through whichever node the seeded client picks (the
+// routers forward each batch to the session's ring owner), kills and
+// restarts the owner of a slice of the sessions mid-run, and checks
+// the properties session sharding promises:
+//
+//   - single ownership: every batch for a session lands on exactly one
+//     node, wherever the client sent it, and reads through any node
+//     return that owner's state;
+//   - honest unavailability: while a session's owner is down, writes
+//     and reads for it fail with 502 — they are never served from a
+//     stale twin elsewhere (the no-degrade discipline of
+//     Node.routeSession);
+//   - recovery: after the owner restarts, clients resume their event
+//     streams (use indices keep climbing past the outage) and every
+//     session completes its full planned stream.
+//
+// Session state is in-memory by design — the estimator is a live
+// tally, not a durable log — so a restarted owner serves resumed
+// sessions with post-restart counts. The harness therefore asserts on
+// the use cursor (monotone, client-driven, survives the outage), not
+// on event totals.
+
+// SessionHarnessOptions configures a session fault-harness run.
+type SessionHarnessOptions struct {
+	// Nodes are the member names (default n1, n2, n3).
+	Nodes []string
+	// Sessions is the concurrent session count (default 48).
+	Sessions int
+	// Rounds is the number of batch rounds: every session posts one
+	// batch per round (default 9).
+	Rounds int
+	// EventsPerBatch sizes each NDJSON batch (default 40).
+	EventsPerBatch int
+	// Seed drives the event streams and the client's node picks
+	// (default 1).
+	Seed uint64
+	// KillNode is the member to kill (default the middle node in
+	// sorted order). Ignored when KillAfter < 0.
+	KillNode string
+	// KillAfter kills KillNode just before this round (default
+	// Rounds/3). Negative disables the fault.
+	KillAfter int
+	// RestartAfter restarts the killed node just before this round
+	// (default 2*Rounds/3). Negative leaves it down.
+	RestartAfter int
+	// Out receives progress lines (default: discard).
+	Out io.Writer
+}
+
+func (o SessionHarnessOptions) withDefaults() SessionHarnessOptions {
+	if len(o.Nodes) == 0 {
+		o.Nodes = []string{"n1", "n2", "n3"}
+	}
+	if o.Sessions <= 0 {
+		o.Sessions = 48
+	}
+	if o.Rounds <= 0 {
+		o.Rounds = 9
+	}
+	if o.EventsPerBatch <= 0 {
+		o.EventsPerBatch = 40
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.KillAfter == 0 {
+		o.KillAfter = o.Rounds / 3
+	}
+	if o.RestartAfter == 0 {
+		o.RestartAfter = 2 * o.Rounds / 3
+	}
+	if o.Out == nil {
+		o.Out = io.Discard
+	}
+	return o
+}
+
+// SessionNodeCounters is one member's session-routing activity summed
+// across incarnations.
+type SessionNodeCounters struct {
+	Name       string `json:"name"`
+	Owned      int64  `json:"owned"`
+	Forwards   int64  `json:"forwards"`
+	Retries    int64  `json:"retries"`
+	PeerErrors int64  `json:"peer_errors"`
+}
+
+// SessionHarnessReport aggregates one session-harness run.
+type SessionHarnessReport struct {
+	Sessions       int `json:"sessions"`
+	Rounds         int `json:"rounds"`
+	EventsPerBatch int `json:"events_per_batch"`
+
+	// Applied counts events acknowledged by an owner; Unavailable
+	// counts batch posts refused because the owner was down (502 or
+	// transport failure at every member); Replayed counts batches the
+	// client re-sent after an ambiguous failure and found already
+	// applied (409).
+	Applied     int64 `json:"applied"`
+	Unavailable int   `json:"unavailable"`
+	Replayed    int   `json:"replayed"`
+
+	Killed    string `json:"killed,omitempty"`
+	Restarted bool   `json:"restarted"`
+
+	// Incomplete counts sessions whose event stream did not finish;
+	// ReadMismatches counts final reads that disagreed across nodes or
+	// ended at the wrong use cursor.
+	Incomplete     int `json:"incomplete"`
+	ReadMismatches int `json:"read_mismatches"`
+
+	Nodes []SessionNodeCounters `json:"nodes"`
+	Wall  time.Duration         `json:"-"`
+}
+
+// Totals sums the per-node session counters.
+func (r *SessionHarnessReport) Totals() SessionNodeCounters {
+	t := SessionNodeCounters{Name: "total"}
+	for _, n := range r.Nodes {
+		t.Owned += n.Owned
+		t.Forwards += n.Forwards
+		t.Retries += n.Retries
+		t.PeerErrors += n.PeerErrors
+	}
+	return t
+}
+
+// Format renders the report for humans.
+func (r *SessionHarnessReport) Format(w io.Writer) {
+	fmt.Fprintf(w, "sessions:   %d x %d rounds x %d events (%d applied) in %v\n",
+		r.Sessions, r.Rounds, r.EventsPerBatch, r.Applied, r.Wall.Round(time.Millisecond))
+	fmt.Fprintf(w, "fault:      unavailable=%d replayed=%d", r.Unavailable, r.Replayed)
+	if r.Killed != "" {
+		fmt.Fprintf(w, " killed=%s restarted=%v", r.Killed, r.Restarted)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "final:      incomplete=%d read_mismatches=%d\n", r.Incomplete, r.ReadMismatches)
+	for _, n := range append(r.Nodes, r.Totals()) {
+		fmt.Fprintf(w, "node %-6s owned=%-5d fwd=%-5d retry=%-3d peer_err=%d\n",
+			n.Name, n.Owned, n.Forwards, n.Retries, n.PeerErrors)
+	}
+}
+
+// Assert is the acceptance gate for the cluster leg of `make
+// sessions-smoke`.
+func (r *SessionHarnessReport) Assert() error {
+	var fails []string
+	t := r.Totals()
+	if t.Owned == 0 {
+		fails = append(fails, "no session batch was ever served by an owner")
+	}
+	if t.Forwards == 0 {
+		fails = append(fails, "no session batch was ever forwarded (sharding never crossed nodes?)")
+	}
+	if r.Killed != "" {
+		if r.Unavailable == 0 {
+			fails = append(fails, "node killed but no session batch was refused as unavailable")
+		}
+		if t.PeerErrors == 0 {
+			fails = append(fails, "node killed but no session forward failed toward it")
+		}
+	}
+	if r.Incomplete != 0 {
+		fails = append(fails, fmt.Sprintf("%d sessions did not complete their event streams", r.Incomplete))
+	}
+	if r.ReadMismatches != 0 {
+		fails = append(fails, fmt.Sprintf("%d final reads diverged across nodes", r.ReadMismatches))
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("cluster: session harness assertions failed:\n  %s", strings.Join(fails, "\n  "))
+	}
+	return nil
+}
+
+// sessionPlanEvents builds session i's full deterministic event
+// stream: Rounds*EventsPerBatch uses with seeded kinds and symbols.
+func sessionPlanEvents(seed uint64, i, total int) []session.Event {
+	src := rng.NewStream(seed, uint64(0x5e55)+uint64(i))
+	events := make([]session.Event, total)
+	for u := 0; u < total; u++ {
+		ev := session.Event{Use: int64(u + 1)}
+		sym := uint32(src.Intn(16))
+		switch draw := src.Float64(); {
+		case draw < 0.08:
+			ev.Kind, ev.Sent = channel.EventDelete, sym
+		case draw < 0.13:
+			ev.Kind, ev.Received = channel.EventInsert, sym
+		case draw < 0.17:
+			ev.Kind, ev.Sent, ev.Received = channel.EventSubstitute, sym, sym^1
+		default:
+			ev.Kind, ev.Sent, ev.Received = channel.EventTransmit, sym, sym
+		}
+		events[u] = ev
+	}
+	return events
+}
+
+// RunSessionHarness executes a session-sharded cluster fault run.
+func RunSessionHarness(o SessionHarnessOptions) (*SessionHarnessReport, error) {
+	o = o.withDefaults()
+	if o.KillAfter >= 0 && o.RestartAfter >= 0 && o.RestartAfter <= o.KillAfter {
+		return nil, fmt.Errorf("cluster: restart round (%d) must exceed kill round (%d)", o.RestartAfter, o.KillAfter)
+	}
+
+	sortedNames := append([]string(nil), o.Nodes...)
+	sort.Strings(sortedNames)
+	var mem Membership
+	listeners := make(map[string]net.Listener, len(sortedNames))
+	for _, name := range sortedNames {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		defer l.Close() // no-op once a server owns it
+		listeners[name] = l
+		mem.Members = append(mem.Members, Member{Name: name, URL: "http://" + l.Addr().String()})
+	}
+
+	incarnations := make(map[string][]*Metrics)
+	startNode := func(name string, l net.Listener) (*proc, error) {
+		srv := capserver.New(capserver.Config{Workers: 2, SessionSweep: -1})
+		node, err := NewNode(srv, Config{
+			Self:        name,
+			Membership:  mem,
+			HedgeDelay:  -1, // sessions never hedge; compute traffic is absent here
+			PeerBackoff: time.Millisecond,
+			PeerTimeout: 30 * time.Second,
+		})
+		if err != nil {
+			return nil, err
+		}
+		incarnations[name] = append(incarnations[name], node.Metrics())
+		p := &proc{
+			name: name,
+			addr: l.Addr().String(),
+			lis:  l,
+			hsrv: &http.Server{Handler: node.Handler()},
+			srv:  srv,
+			node: node,
+		}
+		go func() { _ = p.hsrv.Serve(l) }()
+		return p, nil
+	}
+
+	procs := make(map[string]*proc, len(sortedNames))
+	for _, name := range sortedNames {
+		p, err := startNode(name, listeners[name])
+		if err != nil {
+			return nil, err
+		}
+		procs[name] = p
+	}
+	defer func() {
+		for _, p := range procs {
+			if !p.dead {
+				_ = p.hsrv.Close()
+			}
+		}
+	}()
+
+	killName := o.KillNode
+	if killName == "" {
+		killName = sortedNames[len(sortedNames)/2]
+	}
+	if _, ok := procs[killName]; !ok {
+		return nil, fmt.Errorf("cluster: kill node %q is not a member", killName)
+	}
+
+	report := &SessionHarnessReport{Sessions: o.Sessions, Rounds: o.Rounds, EventsPerBatch: o.EventsPerBatch}
+	client := &http.Client{Timeout: 30 * time.Second}
+	dispatch := rng.NewStream(o.Seed, 0x5d15)
+
+	total := o.Rounds * o.EventsPerBatch
+	plans := make([][]session.Event, o.Sessions)
+	cursors := make([]int, o.Sessions) // next un-acknowledged event index
+	ids := make([]string, o.Sessions)
+	for i := range plans {
+		plans[i] = sessionPlanEvents(o.Seed, i, total)
+		ids[i] = fmt.Sprintf("hs-%d-%04d", o.Seed, i)
+	}
+
+	// postBatch sends session i's next EventsPerBatch events through a
+	// seeded node pick (rotating past dead listeners) and advances the
+	// cursor on success. A 409 means an earlier ambiguous failure
+	// actually landed: the owner's cursor is ahead, so resync from its
+	// answer. Returns false when the owner was unreachable.
+	postBatch := func(i int) (bool, error) {
+		if cursors[i] >= total {
+			return true, nil
+		}
+		end := cursors[i] + o.EventsPerBatch
+		if end > total {
+			end = total
+		}
+		var buf bytes.Buffer
+		if err := session.EncodeEvents(&buf, plans[i][cursors[i]:end]); err != nil {
+			return false, err
+		}
+		pick := dispatch.Intn(len(sortedNames))
+		var resp *http.Response
+		var lastErr error
+		for attempt := 0; attempt < len(sortedNames); attempt++ {
+			p := procs[sortedNames[(pick+attempt)%len(sortedNames)]]
+			resp, lastErr = client.Post(
+				"http://"+p.addr+"/v1/sessions/"+ids[i]+"/events",
+				"application/x-ndjson", bytes.NewReader(buf.Bytes()))
+			if lastErr == nil {
+				break
+			}
+		}
+		if lastErr != nil {
+			report.Unavailable++
+			return false, nil
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			report.Unavailable++
+			return false, nil
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var ack capserver.SessionIngestResponse
+			if err := json.Unmarshal(body, &ack); err != nil {
+				return false, fmt.Errorf("session %s: bad ingest ack: %v", ids[i], err)
+			}
+			report.Applied += int64(ack.Applied)
+			cursors[i] = end
+			return true, nil
+		case http.StatusConflict:
+			// The batch (or part of it) landed during an ambiguous
+			// failure; trust the owner's cursor and move past it.
+			report.Replayed++
+			cursors[i] = end
+			return true, nil
+		case http.StatusBadGateway, http.StatusServiceUnavailable:
+			report.Unavailable++
+			return false, nil
+		default:
+			return false, fmt.Errorf("session %s: unexpected ingest status %d: %s", ids[i], resp.StatusCode, body)
+		}
+	}
+
+	start := time.Now()
+	for round := 0; round < o.Rounds; round++ {
+		if o.KillAfter >= 0 && round == o.KillAfter {
+			p := procs[killName]
+			_ = p.hsrv.Close()
+			p.dead = true
+			report.Killed = killName
+			fmt.Fprintf(o.Out, "round %d: killed %s (%s)\n", round, killName, p.addr)
+		}
+		if o.KillAfter >= 0 && o.RestartAfter >= 0 && round == o.RestartAfter {
+			old := procs[killName]
+			l, err := net.Listen("tcp", old.addr)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: restart %s on %s: %v", killName, old.addr, err)
+			}
+			p, err := startNode(killName, l)
+			if err != nil {
+				return nil, err
+			}
+			procs[killName] = p
+			report.Restarted = true
+			fmt.Fprintf(o.Out, "round %d: restarted %s (%s)\n", round, killName, p.addr)
+		}
+		for i := range plans {
+			if _, err := postBatch(i); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Drain: sessions that lost rounds to the outage finish their
+	// streams against the restarted owner. Bounded, and only useful
+	// when the owner came back.
+	for pass := 0; pass < 2*o.Rounds; pass++ {
+		pending := 0
+		for i := range plans {
+			if cursors[i] < total {
+				pending++
+				if _, err := postBatch(i); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if pending == 0 {
+			break
+		}
+	}
+	for i := range plans {
+		if cursors[i] < total {
+			report.Incomplete++
+		}
+	}
+	report.Wall = time.Since(start)
+
+	// Final reads: each session through two distinct nodes must agree
+	// byte-for-byte after dropping bounds_source (the only field that
+	// legitimately differs between a cache miss and the hit it seeds),
+	// and the owner's cursor must sit at the end of the planned stream.
+	readVia := func(nodeIdx, sessIdx int) (map[string]json.RawMessage, error) {
+		p := procs[sortedNames[nodeIdx%len(sortedNames)]]
+		resp, err := client.Get("http://" + p.addr + "/v1/sessions/" + ids[sessIdx])
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("status %d: %s", resp.StatusCode, body)
+		}
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(body, &m); err != nil {
+			return nil, err
+		}
+		delete(m, "bounds_source")
+		return m, nil
+	}
+	for i := range plans {
+		a, errA := readVia(i, i)
+		b, errB := readVia(i+1, i)
+		if errA != nil || errB != nil {
+			report.ReadMismatches++
+			fmt.Fprintf(o.Out, "session %s: final read failed: %v / %v\n", ids[i], errA, errB)
+			continue
+		}
+		ab, _ := json.Marshal(a)
+		bb, _ := json.Marshal(b)
+		if !bytes.Equal(ab, bb) {
+			report.ReadMismatches++
+			fmt.Fprintf(o.Out, "session %s: reads diverge across nodes\n", ids[i])
+			continue
+		}
+		var lastUse int64
+		if err := json.Unmarshal(a["last_use"], &lastUse); err != nil || lastUse != int64(total) {
+			report.ReadMismatches++
+			fmt.Fprintf(o.Out, "session %s: cursor at %d, want %d\n", ids[i], lastUse, total)
+		}
+	}
+
+	for _, name := range sortedNames {
+		c := SessionNodeCounters{Name: name}
+		for _, m := range incarnations[name] {
+			c.Owned += m.SessionOwned()
+			c.Forwards += m.SessionForwards()
+			c.Retries += m.SessionRetries()
+			c.PeerErrors += m.SessionPeerErrors()
+		}
+		report.Nodes = append(report.Nodes, c)
+	}
+	return report, nil
+}

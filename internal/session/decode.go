@@ -1,0 +1,228 @@
+package session
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/channel"
+)
+
+// Event is one decoded channel-use event.
+type Event struct {
+	// Use is the 1-based use index; events within a session are
+	// strictly increasing in Use.
+	Use int64
+	// Kind is the Definition 1 event kind.
+	Kind channel.EventKind
+	// Sent is the symbol the covert sender queued (meaningful for
+	// T/S/D events; insertions deliver a symbol nobody sent).
+	Sent uint32
+	// Received is the delivered symbol (meaningful for T/S/I events;
+	// deletions deliver nothing).
+	Received uint32
+	// Injected marks uses a fault layer overrode.
+	Injected bool
+}
+
+// MaxSymbol bounds wire symbols to the widest channel alphabet the
+// system serves (16-bit, matching capserver's MaxSymbols ceiling).
+const MaxSymbol = 1<<16 - 1
+
+// MaxLineBytes bounds one NDJSON line; a use event is ~50 bytes, so
+// 4 KiB is generous while keeping hostile input from ballooning the
+// scanner buffer.
+const MaxLineBytes = 4096
+
+// ErrOutOfOrder reports a use index at or below one already applied.
+var ErrOutOfOrder = errors.New("session: out-of-order use index")
+
+// DecodeError locates the first rejected line of a batch.
+type DecodeError struct {
+	// Line is the 1-based NDJSON line number of the first bad line.
+	Line int
+	Err  error
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("session: event line %d: %v", e.Line, e.Err)
+}
+
+func (e *DecodeError) Unwrap() error { return e.Err }
+
+// wireEvent is the strict wire schema for one event line:
+//
+//	{"u":<use index>,"k":"T|S|D|I","s":<sent>,"r":<received>,"inj":1}
+//
+// "s" is required for T/S/D and forbidden for I (an insertion delivers
+// a symbol nobody sent); "r" is required for T/S/I and forbidden for D
+// (a deletion delivers nothing) — the same convention the obs trace
+// writer uses for its "d" field. "inj" is optional. Pointer fields
+// distinguish absent from zero.
+type wireEvent struct {
+	U   *int64  `json:"u"`
+	K   *string `json:"k"`
+	S   *int64  `json:"s"`
+	R   *int64  `json:"r"`
+	Inj *int64  `json:"inj"`
+}
+
+// decodeLine strictly decodes one NDJSON line into an Event.
+func decodeLine(line []byte) (Event, error) {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	var w wireEvent
+	if err := dec.Decode(&w); err != nil {
+		return Event{}, err
+	}
+	// One JSON value per line: trailing bytes are a framing error.
+	if _, err := dec.Token(); err != io.EOF {
+		return Event{}, fmt.Errorf("trailing data after event object")
+	}
+	if w.U == nil {
+		return Event{}, fmt.Errorf("missing use index \"u\"")
+	}
+	if *w.U < 1 {
+		return Event{}, fmt.Errorf("use index %d < 1", *w.U)
+	}
+	if w.K == nil {
+		return Event{}, fmt.Errorf("missing event kind \"k\"")
+	}
+	kind, ok := KindFromCode(*w.K)
+	if !ok {
+		return Event{}, fmt.Errorf("unknown event kind %q", *w.K)
+	}
+	symbol := func(name string, p *int64) (uint32, error) {
+		if *p < 0 || *p > MaxSymbol {
+			return 0, fmt.Errorf("symbol %q = %d out of [0, %d]", name, *p, MaxSymbol)
+		}
+		return uint32(*p), nil
+	}
+	ev := Event{Use: *w.U, Kind: kind, Injected: w.Inj != nil && *w.Inj != 0}
+	wantS := kind != channel.EventInsert
+	wantR := kind != channel.EventDelete
+	if wantS != (w.S != nil) {
+		if wantS {
+			return Event{}, fmt.Errorf("%s event missing sent symbol \"s\"", kind)
+		}
+		return Event{}, fmt.Errorf("%s event must not carry sent symbol \"s\"", kind)
+	}
+	if wantR != (w.R != nil) {
+		if wantR {
+			return Event{}, fmt.Errorf("%s event missing received symbol \"r\"", kind)
+		}
+		return Event{}, fmt.Errorf("%s event must not carry received symbol \"r\" (deletions deliver nothing)", kind)
+	}
+	var err error
+	if w.S != nil {
+		if ev.Sent, err = symbol("s", w.S); err != nil {
+			return Event{}, err
+		}
+	}
+	if w.R != nil {
+		if ev.Received, err = symbol("r", w.R); err != nil {
+			return Event{}, err
+		}
+	}
+	// Kind/symbol consistency: a clean transmit delivers what was sent,
+	// a substitution by definition does not.
+	if kind == channel.EventTransmit && ev.Received != ev.Sent {
+		return Event{}, fmt.Errorf("T event delivered %d != sent %d (substitutions are kind S)", ev.Received, ev.Sent)
+	}
+	if kind == channel.EventSubstitute && ev.Received == ev.Sent {
+		return Event{}, fmt.Errorf("S event delivered the sent symbol %d (clean transmits are kind T)", ev.Sent)
+	}
+	return ev, nil
+}
+
+// DecodeBatch strictly decodes an NDJSON event batch. Blank lines are
+// skipped (but numbered). Use indices must be strictly increasing
+// within the batch and all above after (the caller's session cursor,
+// 0 for no constraint). On any malformed, truncated, oversized or
+// out-of-order line the whole batch is rejected with a *DecodeError
+// carrying the first bad line number; limit > 0 bounds the number of
+// events accepted. DecodeBatch never panics on hostile input.
+func DecodeBatch(r io.Reader, after int64, limit int) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024), MaxLineBytes)
+	var events []Event
+	prev := after
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		ev, err := decodeLine(raw)
+		if err != nil {
+			return nil, &DecodeError{Line: line, Err: err}
+		}
+		if ev.Use <= prev {
+			return nil, &DecodeError{Line: line, Err: fmt.Errorf("%w: use %d after use %d", ErrOutOfOrder, ev.Use, prev)}
+		}
+		prev = ev.Use
+		if limit > 0 && len(events) >= limit {
+			return nil, &DecodeError{Line: line, Err: fmt.Errorf("batch exceeds %d events", limit)}
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		// Scanner errors (line too long, reader failure) surface on the
+		// line after the last good one.
+		return nil, &DecodeError{Line: line + 1, Err: err}
+	}
+	return events, nil
+}
+
+// EncodeEvents writes events in the NDJSON wire form, the inverse of
+// DecodeBatch (used by the loadgen and tests).
+func EncodeEvents(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, ev := range events {
+		bw.WriteString(`{"u":`)
+		writeInt(bw, ev.Use)
+		bw.WriteString(`,"k":"`)
+		bw.WriteString(ev.Kind.String())
+		bw.WriteString(`"`)
+		if ev.Kind != channel.EventInsert {
+			bw.WriteString(`,"s":`)
+			writeInt(bw, int64(ev.Sent))
+		}
+		if ev.Kind != channel.EventDelete {
+			bw.WriteString(`,"r":`)
+			writeInt(bw, int64(ev.Received))
+		}
+		if ev.Injected {
+			bw.WriteString(`,"inj":1`)
+		}
+		bw.WriteString("}\n")
+	}
+	return bw.Flush()
+}
+
+// writeInt appends a decimal int64 without fmt overhead.
+func writeInt(bw *bufio.Writer, v int64) {
+	var buf [20]byte
+	i := len(buf)
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	for {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	bw.Write(buf[i:])
+}

@@ -1,0 +1,51 @@
+package session
+
+import (
+	"repro/internal/channel"
+	"repro/internal/obs"
+)
+
+// Estimator is the O(1)-memory online (Pd, Pi, Ps) estimator. Its
+// entire state is the obs.UseCounts tally plus the last applied use
+// index: five int64 counters and one int64 cursor, independent of how
+// many events have streamed through. Estimates are produced by the
+// same obs.UseCounts.Estimate the batch pipeline uses, so online and
+// batch results are bit-identical by construction — the integer
+// tallies after n events equal the batch tallies over the same n
+// events, and identical integer inputs drive identical float64
+// arithmetic.
+type Estimator struct {
+	counts  obs.UseCounts
+	lastUse int64
+}
+
+// Apply tallies one event. The caller (Session.Apply) enforces use
+// ordering; Apply itself just accumulates.
+func (e *Estimator) Apply(ev Event) {
+	switch ev.Kind {
+	case channel.EventTransmit:
+		e.counts.Transmits++
+	case channel.EventSubstitute:
+		e.counts.Substitutes++
+	case channel.EventDelete:
+		e.counts.Deletes++
+	case channel.EventInsert:
+		e.counts.Inserts++
+	}
+	if ev.Injected {
+		e.counts.Injected++
+	}
+	if ev.Use > e.lastUse {
+		e.lastUse = ev.Use
+	}
+}
+
+// Counts returns the accumulated tallies.
+func (e *Estimator) Counts() obs.UseCounts { return e.counts }
+
+// LastUse returns the highest applied use index (0 before any event).
+func (e *Estimator) LastUse() int64 { return e.lastUse }
+
+// Estimate returns the current (Pd, Pi, Ps) estimate with Wilson 95%
+// intervals, exactly as batch analysis of the same events would.
+func (e *Estimator) Estimate() obs.Estimate { return e.counts.Estimate() }

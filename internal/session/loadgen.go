@@ -1,0 +1,448 @@
+package session
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/channel"
+	"repro/internal/faultinject"
+	"repro/internal/rng"
+)
+
+// LoadConfig tunes one sessload run: Sessions independent simulated
+// channels, each with planted (Pd, Pi, Ps) drawn from seeded ranges,
+// streamed through the session layer in batches. Every DriftEvery-th
+// session switches to a fault-injected regime halfway through, so the
+// run exercises both convergence (clean phase) and change-point
+// detection (drift phase).
+type LoadConfig struct {
+	// Sessions is the number of concurrent simulated sessions
+	// (default 1000; the bench run uses 10^5+).
+	Sessions int
+	// Seed drives every random choice; a fixed seed makes the whole
+	// run byte-identical at any Jobs count.
+	Seed uint64
+	// Jobs is the worker count (default GOMAXPROCS). Sessions are
+	// independent, so concurrency never changes results, only wall
+	// time.
+	Jobs int
+	// CleanUses and DriftUses are the per-session use counts of the
+	// clean and (for drift sessions) injected phases (defaults 1200).
+	CleanUses, DriftUses int
+	// DriftEvery marks every k-th session (index % k == 0) as a drift
+	// session (default 10; 0 disables drift).
+	DriftEvery int
+	// Inject is the faultinject spec wrapped around drift sessions'
+	// channels for the drift phase (default "drift=0.25").
+	Inject string
+	// Batch is the events-per-ingest batch size (default 400).
+	Batch int
+	// N is the symbol width in bits (default 4).
+	N int
+	// Detector tunes the per-session change-point detector.
+	Detector DetectorConfig
+	// MaxDetectDelay bounds the accepted drift-detection delay in uses
+	// (default DriftUses: detection must land inside the drift window,
+	// i.e. before an offline analysis of that window would even close).
+	MaxDetectDelay int64
+	// Ingest and Fetch override the sink; both or neither. The default
+	// sink is Store (built internally when nil). The cluster harness
+	// substitutes HTTP calls here.
+	Ingest func(id string, events []Event) (Snapshot, error)
+	Fetch  func(id string) (Snapshot, error)
+	// Store receives sessions when Ingest is nil (built internally
+	// when also nil; exposed so callers can inspect it afterwards).
+	Store *Store
+}
+
+// withDefaults fills unset fields.
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Sessions == 0 {
+		c.Sessions = 1000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Jobs <= 0 {
+		c.Jobs = runtime.GOMAXPROCS(0)
+	}
+	if c.CleanUses == 0 {
+		c.CleanUses = 1200
+	}
+	if c.DriftUses == 0 {
+		c.DriftUses = 1200
+	}
+	if c.DriftEvery == 0 {
+		c.DriftEvery = 10
+	}
+	if c.Inject == "" {
+		c.Inject = "drift=0.25"
+	}
+	if c.Batch == 0 {
+		c.Batch = 400
+	}
+	if c.N == 0 {
+		c.N = 4
+	}
+	if c.MaxDetectDelay == 0 {
+		c.MaxDetectDelay = int64(c.DriftUses)
+	}
+	return c
+}
+
+// SessionID names session i of a run. The seed is baked in so runs
+// with different seeds never collide in a shared store.
+func SessionID(seed uint64, i int) string {
+	return fmt.Sprintf("sess-%d-%06d", seed, i)
+}
+
+// Outcome is one session's result.
+type Outcome struct {
+	Index   int
+	ID      string
+	Planted channel.Params
+	Drift   bool
+	// Events is the number of events fed.
+	Events int64
+	// Converged reports the clean-phase estimate containing the
+	// planted parameters (joint Wilson 95% membership).
+	Converged bool
+	// CleanDrifts counts change points fired during the clean phase —
+	// false alarms, the planted parameters do not move there.
+	CleanDrifts int64
+	// Detected/Delay report drift-phase change-point detection and its
+	// delay in uses from drift onset (drift sessions only).
+	Detected bool
+	Delay    int64
+	// Status is the final session status.
+	Status Status
+	// Err is a non-empty description when the session failed outright.
+	Err string
+}
+
+// Report aggregates a run.
+type Report struct {
+	Seed                    uint64
+	Sessions, DriftSessions int
+	CleanUses, DriftUses    int
+	Inject                  string
+	EventsTotal             int64
+	// Converged counts sessions whose clean-phase estimate contained
+	// the planted parameters.
+	Converged int
+	// Detected/Missed partition drift sessions by drift-phase
+	// change-point detection; MaxDelay/MeanDelay summarize detection
+	// delay in uses over detected sessions.
+	Detected, Missed int
+	MaxDelay         int64
+	MeanDelay        float64
+	// FalsePositives counts sessions with clean-phase change points.
+	FalsePositives int
+	// Errors counts failed sessions; Failures lists the first few,
+	// sorted by session index.
+	Errors   int
+	Failures []string
+	// MaxDetectDelay echoes the configured bound for Assert.
+	MaxDetectDelay int64
+}
+
+// Run executes the load. Results are deterministic for a fixed
+// (Seed, Sessions, CleanUses, DriftUses, DriftEvery, Inject, Batch, N,
+// Detector) tuple regardless of Jobs: every session derives its own
+// rng streams from (Seed, index) and outcomes aggregate in index
+// order.
+func Run(cfg LoadConfig) (*Report, error) {
+	cfg = cfg.withDefaults()
+	spec, err := faultinject.ParseSpec(cfg.Inject)
+	if err != nil {
+		return nil, err
+	}
+	if (cfg.Ingest == nil) != (cfg.Fetch == nil) {
+		return nil, fmt.Errorf("session: Ingest and Fetch must be overridden together")
+	}
+	if cfg.Ingest == nil {
+		store := cfg.Store
+		if store == nil {
+			store, err = NewStore(StoreConfig{
+				Session:     Config{N: cfg.N, Detector: cfg.Detector},
+				MaxSessions: cfg.Sessions + 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			cfg.Store = store
+		}
+		cfg.Ingest = func(id string, events []Event) (Snapshot, error) {
+			_, snap, err := store.IngestEvents(id, events)
+			return snap, err
+		}
+		cfg.Fetch = store.Get
+	}
+	outcomes := make([]Outcome, cfg.Sessions)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				outcomes[i] = runSession(cfg, spec, i)
+			}
+		}()
+	}
+	for i := 0; i < cfg.Sessions; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return buildReport(cfg, outcomes), nil
+}
+
+// runSession simulates one session end to end.
+func runSession(cfg LoadConfig, spec faultinject.Spec, i int) Outcome {
+	out := Outcome{Index: i, ID: SessionID(cfg.Seed, i)}
+	out.Drift = cfg.DriftEvery > 0 && i%cfg.DriftEvery == 0 && len(spec) > 0
+	// The session's master stream: splitmix64 of (Seed, index) seeds a
+	// xoshiro stream, split into independent param/symbol/fault
+	// sources. Nothing here touches global state, so sessions are
+	// order- and concurrency-independent.
+	src := rng.NewStream(cfg.Seed, uint64(i))
+	out.Planted = plantParams(cfg.N, src)
+	chSrc, symSrc, faultSrc := src.Split(), src.Split(), src.Split()
+	ch, err := channel.NewDeletionInsertion(out.Planted, chSrc)
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	f := &feeder{ch: ch, symSrc: symSrc, n: cfg.N, batch: cfg.Batch}
+
+	// Clean phase: feed, then check convergence to the planted truth.
+	snap, err := f.feed(cfg.Ingest, out.ID, cfg.CleanUses, nil)
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	out.Events = f.use
+	out.Converged = snap.Estimate.Contains(out.Planted.Pd, out.Planted.Pi, out.Planted.Ps)
+	out.CleanDrifts = snap.Drifts
+	out.Status = snap.Status
+	if !out.Drift {
+		return out
+	}
+
+	// Drift phase: wrap the same channel in the fault stack and watch
+	// for the change point. onDetect sees every post-batch snapshot, so
+	// the recorded delay is the detector's actual firing use, not a
+	// batch boundary.
+	stack, err := spec.Build(ch, cfg.N, faultSrc)
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	f.ch = stack
+	f.injected = stack.Injected
+	driftStart := f.use
+	final, err := f.feed(cfg.Ingest, out.ID, cfg.DriftUses, func(s Snapshot) {
+		if !out.Detected && s.Drifts > out.CleanDrifts {
+			out.Detected = true
+			out.Delay = s.LastChangeUse - driftStart
+		}
+	})
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	out.Events = f.use
+	out.Status = final.Status
+	return out
+}
+
+// plantParams draws a session's true channel parameters from ranges
+// that keep every rate estimable within a ~10^3-use clean phase while
+// spanning the paper's regime of interest.
+func plantParams(n int, src *rng.Source) channel.Params {
+	in := func(lo, hi float64) float64 { return lo + (hi-lo)*src.Float64() }
+	return channel.Params{
+		N:  n,
+		Pd: in(0.02, 0.12),
+		Pi: in(0.02, 0.10),
+		Ps: in(0.01, 0.08),
+	}
+}
+
+// feeder drives one simulated channel and streams its events in
+// batches.
+type feeder struct {
+	ch interface {
+		Use(queued uint32) channel.Use
+	}
+	injected   func() int64
+	lastInj    int64
+	symSrc     *rng.Source
+	n          int
+	queued     uint32
+	haveQueued bool
+	use        int64
+	batch      int
+	buf        []Event
+}
+
+// next generates one event.
+func (f *feeder) next() Event {
+	if !f.haveQueued {
+		f.queued = f.symSrc.Symbol(f.n)
+		f.haveQueued = true
+	}
+	u := f.ch.Use(f.queued)
+	f.use++
+	ev := Event{Use: f.use, Kind: u.Kind}
+	switch u.Kind {
+	case channel.EventTransmit, channel.EventSubstitute:
+		ev.Sent, ev.Received = f.queued, u.Delivered
+	case channel.EventDelete:
+		ev.Sent = f.queued
+	case channel.EventInsert:
+		ev.Received = u.Delivered
+	}
+	if u.Consumed {
+		f.haveQueued = false
+	}
+	if f.injected != nil {
+		if cur := f.injected(); cur != f.lastInj {
+			ev.Injected = true
+			f.lastInj = cur
+		}
+	}
+	return ev
+}
+
+// feed streams uses more events in Batch-sized flushes, invoking
+// onFlush (when non-nil) with each post-ingest snapshot, and returns
+// the final one.
+func (f *feeder) feed(ingest func(string, []Event) (Snapshot, error), id string, uses int, onFlush func(Snapshot)) (Snapshot, error) {
+	if cap(f.buf) == 0 {
+		f.buf = make([]Event, 0, f.batch)
+	}
+	var snap Snapshot
+	for done := 0; done < uses; {
+		f.buf = f.buf[:0]
+		for len(f.buf) < f.batch && done < uses {
+			f.buf = append(f.buf, f.next())
+			done++
+		}
+		var err error
+		if snap, err = ingest(id, f.buf); err != nil {
+			return Snapshot{}, err
+		}
+		if onFlush != nil {
+			onFlush(snap)
+		}
+	}
+	return snap, nil
+}
+
+// buildReport aggregates outcomes in index order.
+func buildReport(cfg LoadConfig, outcomes []Outcome) *Report {
+	r := &Report{
+		Seed:           cfg.Seed,
+		Sessions:       cfg.Sessions,
+		CleanUses:      cfg.CleanUses,
+		DriftUses:      cfg.DriftUses,
+		Inject:         cfg.Inject,
+		MaxDetectDelay: cfg.MaxDetectDelay,
+	}
+	var delaySum int64
+	for i := range outcomes {
+		o := &outcomes[i]
+		r.EventsTotal += o.Events
+		if o.Err != "" {
+			r.Errors++
+			if len(r.Failures) < 10 {
+				r.Failures = append(r.Failures, fmt.Sprintf("session %d (%s): %s", o.Index, o.ID, o.Err))
+			}
+			continue
+		}
+		if o.Converged {
+			r.Converged++
+		}
+		if o.CleanDrifts > 0 {
+			r.FalsePositives++
+		}
+		if o.Drift {
+			r.DriftSessions++
+			if o.Detected {
+				r.Detected++
+				delaySum += o.Delay
+				if o.Delay > r.MaxDelay {
+					r.MaxDelay = o.Delay
+				}
+			} else {
+				r.Missed++
+			}
+		}
+	}
+	if r.Detected > 0 {
+		r.MeanDelay = float64(delaySum) / float64(r.Detected)
+	}
+	sort.Strings(r.Failures)
+	return r
+}
+
+// Format writes the deterministic run report: every line is a pure
+// function of the seed and configuration, so diffing two runs is the
+// byte-identity gate. Wall-clock figures deliberately do not appear
+// here; cmd/sessload prints those separately as "timing:" lines.
+func (r *Report) Format(w io.Writer) {
+	fmt.Fprintf(w, "sessload seed=%d sessions=%d drift=%d clean_uses=%d drift_uses=%d inject=%q\n",
+		r.Seed, r.Sessions, r.DriftSessions, r.CleanUses, r.DriftUses, r.Inject)
+	fmt.Fprintf(w, "events: %d\n", r.EventsTotal)
+	fmt.Fprintf(w, "converged: %d/%d (%.4f)\n", r.Converged, r.Sessions, ratio(r.Converged, r.Sessions))
+	fmt.Fprintf(w, "detected: %d/%d missed: %d max_delay: %d mean_delay: %.1f\n",
+		r.Detected, r.DriftSessions, r.Missed, r.MaxDelay, r.MeanDelay)
+	fmt.Fprintf(w, "false_positives: %d/%d (%.4f)\n", r.FalsePositives, r.Sessions, ratio(r.FalsePositives, r.Sessions))
+	fmt.Fprintf(w, "errors: %d\n", r.Errors)
+	for _, f := range r.Failures {
+		fmt.Fprintf(w, "  fail: %s\n", f)
+	}
+}
+
+// ratio divides counts, mapping 0/0 to 0.
+func ratio(k, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(k) / float64(n)
+}
+
+// Assert applies the smoke-gate acceptance bounds: no failed sessions,
+// ≥80% joint-CI convergence (three simultaneous 95% intervals give
+// ~86% expected joint coverage), injected drift detected within
+// MaxDetectDelay uses of onset, and clean-phase false alarms under 2%.
+// Misses get a 0.1% budget, symmetric with the false-alarm budget: the
+// drift layer is a reflected random walk, and across 10^4+ sessions a
+// handful of walks wander back to baseline before the detector can
+// tell them from noise. At smoke scale (tens of drift sessions) the
+// budget truncates to zero, so small runs still demand every drift be
+// caught.
+func (r *Report) Assert() error {
+	if r.Errors > 0 {
+		return fmt.Errorf("sessload: %d sessions failed (first: %s)", r.Errors, r.Failures[0])
+	}
+	if got := ratio(r.Converged, r.Sessions); got < 0.80 {
+		return fmt.Errorf("sessload: converged fraction %.4f < 0.80", got)
+	}
+	if budget := r.DriftSessions / 1000; r.Missed > budget {
+		return fmt.Errorf("sessload: %d/%d drift sessions undetected (budget %d)",
+			r.Missed, r.DriftSessions, budget)
+	}
+	if r.DriftSessions > 0 && r.MaxDelay > r.MaxDetectDelay {
+		return fmt.Errorf("sessload: max detection delay %d uses exceeds bound %d", r.MaxDelay, r.MaxDetectDelay)
+	}
+	if got := ratio(r.FalsePositives, r.Sessions); got > 0.02 {
+		return fmt.Errorf("sessload: false-positive fraction %.4f > 0.02", got)
+	}
+	return nil
+}

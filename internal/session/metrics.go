@@ -1,0 +1,45 @@
+package session
+
+import "repro/internal/obs"
+
+// Metrics is the session subsystem's obs-registry instrument set. It
+// registers on the server's shared registry (capserver passes its own)
+// so session families appear in /metrics next to the serving families.
+type Metrics struct {
+	reg *obs.Registry
+	// Active is the live session count.
+	Active *obs.Gauge
+	// Created counts sessions created; Evicted counts idle sessions
+	// reclaimed by TTL sweep (capserver_sessions_evicted_total, the
+	// memory-hygiene regression gate's counter).
+	Created *obs.Counter
+	Evicted *obs.Counter
+	// Events counts accepted events; Rejected counts rejected batches.
+	Events   *obs.Counter
+	Rejected *obs.Counter
+	// Drifts counts change points detected across all sessions;
+	// Resyncs counts completed post-drift re-baselines.
+	Drifts  *obs.Counter
+	Resyncs *obs.Counter
+}
+
+// NewMetrics registers the session families on reg (nil: a private
+// registry, for tests).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Metrics{
+		reg:      reg,
+		Active:   reg.Gauge("capserver_sessions_active"),
+		Created:  reg.Counter("capserver_sessions_created_total"),
+		Evicted:  reg.Counter("capserver_sessions_evicted_total"),
+		Events:   reg.Counter("capserver_session_events_total"),
+		Rejected: reg.Counter("capserver_session_rejected_total"),
+		Drifts:   reg.Counter("capserver_session_drift_total"),
+		Resyncs:  reg.Counter("capserver_session_resync_total"),
+	}
+}
+
+// Registry returns the registry the metrics live on.
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
