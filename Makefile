@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race race-hostile race-obs fuzz-smoke bench-smoke serve-smoke trace-smoke cluster-smoke trace-cluster-smoke sessions-smoke bench bench-json bench-cluster bench-sessions
+.PHONY: ci fmt vet build test race race-hostile race-obs fuzz-smoke bench-smoke serve-smoke trace-smoke cluster-smoke trace-cluster-smoke sessions-smoke alerts-smoke bench bench-json bench-cluster bench-sessions bench-alerts
 
-ci: fmt vet build test race race-hostile race-obs fuzz-smoke bench-smoke serve-smoke trace-smoke cluster-smoke trace-cluster-smoke sessions-smoke
+ci: fmt vet build test race race-hostile race-obs fuzz-smoke bench-smoke serve-smoke trace-smoke cluster-smoke trace-cluster-smoke sessions-smoke alerts-smoke
 
 # gofmt -l prints offending files; fail if it prints anything.
 fmt:
@@ -40,7 +40,7 @@ race-hostile:
 # fast path must stay equivalent to the observed per-use path, and the
 # cluster router races hedges against primaries by design.
 race-obs:
-	$(GO) test -race ./internal/obs/... ./internal/capserver/... ./internal/channel/... ./internal/cluster/... ./internal/session/... ./cmd/capstat/...
+	$(GO) test -race ./internal/obs/... ./internal/capserver/... ./internal/channel/... ./internal/cluster/... ./internal/session/... ./internal/health/... ./cmd/capstat/... ./cmd/capwatch/...
 
 # 30 seconds per native fuzz target: the Definition 1 trace invariants
 # and the fault-spec grammar. Regressions the unit corpus misses show
@@ -66,6 +66,10 @@ bench-smoke:
 	$(GO) run ./cmd/sessload -mode check -min-sessions 400 "$$tmp" && \
 	$(GO) run ./cmd/sessload -mode check BENCH_sessions.json
 	$(GO) test -run '^TestOwnedFastPathZeroAlloc$$' -v ./internal/cluster
+	@tmp="$$(mktemp)"; trap 'rm -f "$$tmp"' EXIT; \
+	$(GO) run ./cmd/capwatch -mode bench -rules 120 -series 12 -ticks 150 -bench-out "$$tmp" && \
+	$(GO) run ./cmd/capwatch -mode check "$$tmp" && \
+	$(GO) run ./cmd/capwatch -mode check BENCH_alerts.json
 
 # Serving gate: boot a capserver in-process on an ephemeral port, hit
 # every endpoint, assert 200 + well-formed JSON, shut down cleanly.
@@ -96,6 +100,14 @@ cluster-smoke:
 sessions-smoke:
 	$(GO) run ./cmd/sessload -mode run -sessions 2000 -seed 11 -assert
 	$(GO) run ./cmd/sessload -mode cluster -cluster n1,n2,n3 -assert
+
+# Alert gate: a seeded 3-node kill/restart run under the health verdict
+# layer. -assert fails unless the surviving members walk the exact
+# healthy -> pending -> firing -> resolved timeline, the restarted
+# node's counter reset fires nothing (reset-guard stays silent), and the
+# timeline is byte-identical at two -jobs parallelism levels.
+alerts-smoke:
+	$(GO) run ./cmd/capwatch -mode harness -assert
 
 # Observability gate: record a seeded channel-use trace with chansim,
 # re-estimate (Pd, Pi, Ps) from it with tracecap, and assert the
@@ -148,3 +160,9 @@ bench-cluster:
 bench-sessions:
 	$(GO) run ./cmd/sessload -mode run -sessions 100000 -assert \
 		-bench-out BENCH_sessions.json
+
+# Full rule-engine measurement: rewrites BENCH_alerts.json, the
+# committed throughput trajectory of the alert evaluator (400 rules x
+# 600 ticks over 24 series).
+bench-alerts:
+	$(GO) run ./cmd/capwatch -mode bench -bench-out BENCH_alerts.json

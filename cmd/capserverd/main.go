@@ -1,7 +1,10 @@
 // Command capserverd serves the repository's capacity-estimation
 // kernels over HTTP (see internal/capserver and DESIGN.md §8):
 // /v1/bounds, /v1/predict, /v1/simulate, /v1/experiments, plus
-// /healthz, /v1/healthz, /v1/readyz, /metrics and /debug/pprof.
+// /healthz, /v1/healthz, /v1/readyz, /metrics, /v1/health/alerts and
+// /debug/pprof. The alert engine samples the registry every
+// -health-tick and evaluates its rules (-health-rules overrides the
+// built-in set; watch the fleet with cmd/capwatch).
 //
 // Usage:
 //
@@ -38,6 +41,7 @@ import (
 	"repro/internal/capserver"
 	"repro/internal/cluster"
 	"repro/internal/cluster/casstore"
+	"repro/internal/health"
 	"repro/internal/obs"
 )
 
@@ -70,6 +74,10 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 		maxSess = fs.Int("max-sessions", 0, "cap on concurrently live streaming sessions (0 = default 1<<20)")
 		sessBat = fs.Int("max-session-batch", 0, "events per session ingest batch (0 = default 65536)")
 
+		healthTick  = fs.Duration("health-tick", 5*time.Second, "alert-engine sampling interval (0 or negative = no background ticks)")
+		healthRules = fs.String("health-rules", "", "alert rule file (empty = built-in default rules; see internal/health)")
+		healthKeep  = fs.Int("health-retention", 0, "metric snapshots retained in the alert ring (0 = default 128)")
+
 		storeDir    = fs.String("store", "", "content-addressed result store directory (shared across cluster members)")
 		clusterFlag = fs.String("cluster", "", "static cluster membership: n1=http://host1:8081,n2=http://host2:8081,...")
 		self        = fs.String("self", "", "this node's member name within -cluster")
@@ -90,6 +98,33 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 		return fmt.Errorf("-trace records cluster request spans and needs -cluster")
 	}
 
+	// User-supplied rules are parsed and validated against the retention
+	// and tick here, where the error can name the file and line;
+	// capserver.New would only be able to panic.
+	var rules []*health.Rule
+	if *healthRules != "" {
+		raw, err := os.ReadFile(*healthRules)
+		if err != nil {
+			return err
+		}
+		rules, err = health.ParseRules(string(raw))
+		if err != nil {
+			return fmt.Errorf("%s: %w", *healthRules, err)
+		}
+		probeTick := *healthTick
+		if probeTick <= 0 {
+			probeTick = 5 * time.Second
+		}
+		if _, err := health.NewEngine(health.Config{
+			Rules:        rules,
+			Retention:    *healthKeep,
+			TickInterval: probeTick,
+		}); err != nil {
+			return fmt.Errorf("%s: %w", *healthRules, err)
+		}
+		fmt.Fprintf(logw, "capserverd: %d alert rules from %s\n", len(rules), *healthRules)
+	}
+
 	reg := obs.NewRegistry()
 	cfg := capserver.Config{
 		Workers:        *workers,
@@ -102,6 +137,10 @@ func run(ctx context.Context, args []string, logw *os.File) error {
 		SessionTTL:      *sessTTL,
 		MaxSessions:     *maxSess,
 		MaxSessionBatch: *sessBat,
+
+		HealthTick:      *healthTick,
+		HealthRules:     rules,
+		HealthRetention: *healthKeep,
 	}
 	if *storeDir != "" {
 		st, err := casstore.Open(*storeDir)

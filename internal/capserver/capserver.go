@@ -52,6 +52,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/health"
 	"repro/internal/obs"
 	"repro/internal/session"
 )
@@ -128,6 +129,20 @@ type Config struct {
 	// MaxSessionBatch caps events per session ingest batch
 	// (default 65536).
 	MaxSessionBatch int
+
+	// HealthTick, when positive, samples the registry into the health
+	// engine's snapshot ring every HealthTick (and is the engine's
+	// window-conversion tick). Zero or negative runs no background
+	// ticker — tests and harnesses drive TickHealth() directly, which
+	// is what makes alert timelines deterministic (default 0).
+	HealthTick time.Duration
+	// HealthRules is the alert rule set (nil: health.DefaultRules).
+	// Callers with user-supplied rules should pre-validate them against
+	// retention and tick via health.NewEngine — New panics on an
+	// inconsistent combination, since it cannot return an error.
+	HealthRules []*health.Rule
+	// HealthRetention is the snapshot ring capacity (default 128).
+	HealthRetention int
 }
 
 // withDefaults fills unset fields.
@@ -175,6 +190,11 @@ type Server struct {
 	// by Shutdown).
 	sessions    *session.Store
 	stopJanitor func()
+
+	// health is the alert engine behind /v1/health/alerts; stopHealth
+	// halts its sampling ticker (set by New, called by Shutdown).
+	health     *health.Engine
+	stopHealth func()
 }
 
 // New builds a Server with the given configuration.
@@ -198,6 +218,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/trace", s.handleCompute("trace", s.buildTrace))
 	s.mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	s.initSessions()
+	s.initHealth()
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -239,6 +260,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	// By now no handler can submit new work; drain what was admitted.
 	s.pool.close()
 	s.stopJanitor()
+	s.stopHealth()
 	return err
 }
 
@@ -451,9 +473,11 @@ func (s *Server) Canonicalize(r *http.Request) (key string, ok bool) {
 	return endpoint + "?" + k, true
 }
 
-// handleMetrics renders the counters, gauges and latency quantiles.
+// handleMetrics renders the counters, gauges and latency quantiles,
+// under the Prometheus text-format content type (version 0.0.4 is the
+// format this exposition implements; scrapers negotiate on it).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.write(w, s.cache.stats(), s.pool.depth())
 }
 

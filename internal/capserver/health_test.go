@@ -1,0 +1,111 @@
+package capserver
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/health"
+)
+
+func TestHealthAlertsEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t, Config{SessionSweep: -1})
+	code, hdr, body := get(t, ts.URL, "/v1/health/alerts")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var doc health.AlertsDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if doc.Schema != health.Schema {
+		t.Errorf("schema %q, want %q", doc.Schema, health.Schema)
+	}
+	if doc.Tick != -1 {
+		t.Errorf("tick %d before any tick, want -1", doc.Tick)
+	}
+	if len(doc.Alerts) != len(health.MustDefaultRules()) {
+		t.Errorf("%d alerts, want one per default rule", len(doc.Alerts))
+	}
+	names := make([]string, len(doc.Alerts))
+	for i, a := range doc.Alerts {
+		names[i] = a.Rule
+		if a.State != "inactive" {
+			t.Errorf("rule %s state %q before any tick", a.Rule, a.State)
+		}
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("alerts not sorted by rule: %v", names)
+	}
+	if srv.Health() == nil {
+		t.Fatal("Health() accessor nil")
+	}
+
+	// Driving a tick advances the reported tick and the exposition
+	// grows materialized capserver_alert_state cells.
+	if trs := srv.TickHealth(); len(trs) != 0 {
+		t.Fatalf("transitions on first healthy tick: %v", trs)
+	}
+	_, _, body = get(t, ts.URL, "/v1/health/alerts")
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Tick != 0 {
+		t.Errorf("tick %d after one tick, want 0", doc.Tick)
+	}
+	_, _, metrics := get(t, ts.URL, "/metrics")
+	if !strings.Contains(string(metrics), `capserver_alert_state{rule="queue-rejects"} 0`+"\n") {
+		t.Errorf("alert state gauge missing from exposition")
+	}
+}
+
+// TestTickHealthFiresCustomRule drives a rule through inactive ->
+// pending -> firing -> resolved entirely via explicit ticks: the
+// rejected-batch rate rises while out-of-order batches arrive and
+// falls back to zero once they stop. Ticks are driven by the test, so
+// the transition sequence is exact, not raced against a ticker.
+func TestTickHealthFiresCustomRule(t *testing.T) {
+	rules, err := health.ParseRules(
+		"rule rejects: rate(capserver_session_rejected_total) > 0.1 over 10s for 2 clear 0.05 clearfor 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := newTestServer(t, Config{HealthRules: rules, SessionSweep: -1})
+	ev := `{"u":1,"k":"T","s":1,"r":1}` + "\n"
+	if status, body := postNDJSON(t, ts.URL, "/v1/sessions/h-a/events", ev); status != http.StatusOK {
+		t.Fatalf("seed ingest: %d %s", status, body)
+	}
+	srv.TickHealth() // healthy baseline snapshot
+
+	// Five stale batches (use index at or below the cursor) bump the
+	// rejected counter; at the default 5s tick the 10s window sees an
+	// increase of 5, a rate of 0.5/s, well over the 0.1 threshold.
+	for i := 0; i < 5; i++ {
+		if status, _ := postNDJSON(t, ts.URL, "/v1/sessions/h-a/events", ev); status == http.StatusOK {
+			t.Fatal("stale batch unexpectedly accepted")
+		}
+	}
+	var got []string
+	for i := 0; i < 6; i++ {
+		for _, tr := range srv.TickHealth() {
+			got = append(got, tr.From+"->"+tr.To)
+		}
+	}
+	want := []string{"inactive->pending", "pending->firing", "firing->inactive"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("transition sequence %v, want %v", got, want)
+	}
+}
+
+func TestMetricsContentType(t *testing.T) {
+	_, ts := newTestServer(t, Config{SessionSweep: -1})
+	_, hdr, _ := get(t, ts.URL, "/metrics")
+	if ct := hdr.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("metrics content type %q", ct)
+	}
+}

@@ -123,12 +123,19 @@ func (m *Metrics) Abandoned() int64 { return m.abandoned.Value() }
 // QueueRejected returns the number of requests rejected with 429.
 func (m *Metrics) QueueRejected() int64 { return m.rejected.Value() }
 
-// write snapshots the cache and queue gauges, then renders the whole
-// registry in the deterministic Prometheus text format.
-func (m *Metrics) write(w io.Writer, cs CacheStats, queueDepth int) {
+// sync copies the cache and queue state into their gauges. Both the
+// exposition and the health engine's registry snapshot want current
+// values, so the sampling is shared between them.
+func (m *Metrics) sync(cs CacheStats, queueDepth int) {
 	m.entries.Set(int64(cs.Entries))
 	m.evicted.Set(cs.Evictions)
 	m.inflight.Set(int64(cs.Inflight))
 	m.depth.Set(int64(queueDepth))
+}
+
+// write syncs the gauges, then renders the whole registry in the
+// deterministic Prometheus text format.
+func (m *Metrics) write(w io.Writer, cs CacheStats, queueDepth int) {
+	m.sync(cs, queueDepth)
 	m.reg.WriteProm(w)
 }

@@ -293,19 +293,31 @@ func (s *Server) sessionBounds(r *http.Request, snap session.Snapshot) (bounds j
 func (s *Server) handleSessionList(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	q := queryValues{r.URL.Query()}
-	limit, err := q.intParam("limit", 100, 1, 1000)
-	if err != nil {
-		s.finish(w, "sessions.list", start, http.StatusBadRequest, errorBody(err), "")
-		return
-	}
-	after := q.Get("page_token")
-	if after != "" {
-		if err := session.ValidateID(after); err != nil {
-			s.finish(w, "sessions.list", start, http.StatusBadRequest, errorBody(err), "")
+	// Paging parameters are lenient where compute parameters are strict:
+	// a limit of 0, a negative limit, or one above the 1000 cap clamps
+	// to a sane page size, and the page token is an opaque cursor — a
+	// token past the end of the keyspace (or one that was never a valid
+	// session ID) simply compares above every live ID and yields a
+	// well-formed empty page. Listing is an operator surface; only a
+	// malformed (non-integer) limit is a client error.
+	limit := 100
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil {
+			s.finish(w, "sessions.list", start, http.StatusBadRequest,
+				errorBody(fmt.Errorf("capserver: limit %q is not an integer", raw)), "")
 			return
 		}
+		switch {
+		case n <= 0:
+			limit = 100
+		case n > 1000:
+			limit = 1000
+		default:
+			limit = n
+		}
 	}
-	snaps, next := s.sessions.List(after, limit)
+	snaps, next := s.sessions.List(q.Get("page_token"), limit)
 	out := SessionListResponse{Sessions: make([]SessionSummaryJSON, len(snaps)), NextPageToken: next}
 	for i, snap := range snaps {
 		out.Sessions[i] = fromSnapshot(snap)

@@ -195,8 +195,37 @@ func TestSessionList(t *testing.T) {
 	if len(page2.Sessions) != 1 || page2.Sessions[0].ID != "l-c" || page2.NextPageToken != "" {
 		t.Fatalf("page 2: %s", body)
 	}
-	if code, _, _ := get(t, ts.URL, "/v1/sessions?limit=0"); code != http.StatusBadRequest {
-		t.Fatalf("limit=0 status %d, want 400", code)
+	// Paging parameters clamp rather than reject: limit<=0 falls back
+	// to the default page size, a limit above the cap clamps to it, and
+	// a page token past the end of the keyspace yields a well-formed
+	// empty page. Only a malformed limit is a client error.
+	for _, tc := range []struct {
+		query    string
+		sessions int
+		next     string
+	}{
+		{"limit=0", 3, ""},
+		{"limit=-5", 3, ""},
+		{"limit=99999", 3, ""},
+		{"limit=2&page_token=zzzzzzzz", 0, ""},
+		{"page_token=" + strings.Repeat("z", 300), 0, ""},
+		{"page_token=%21%21%21", 3, ""}, // "!!!" sorts below every ID
+	} {
+		code, _, body := get(t, ts.URL, "/v1/sessions?"+tc.query)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", tc.query, code, body)
+		}
+		var p SessionListResponse
+		if err := json.Unmarshal(body, &p); err != nil {
+			t.Fatalf("%s: %v", tc.query, err)
+		}
+		if len(p.Sessions) != tc.sessions || p.NextPageToken != tc.next {
+			t.Fatalf("%s: got %d sessions next=%q, want %d next=%q",
+				tc.query, len(p.Sessions), p.NextPageToken, tc.sessions, tc.next)
+		}
+	}
+	if code, _, _ := get(t, ts.URL, "/v1/sessions?limit=abc"); code != http.StatusBadRequest {
+		t.Fatalf("limit=abc status %d, want 400", code)
 	}
 }
 

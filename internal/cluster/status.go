@@ -10,6 +10,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"repro/internal/health"
 )
 
 // Metrics federation (DESIGN.md §12). Any node answers
@@ -45,8 +47,21 @@ type ClusterStatus struct {
 	RingPermille map[string]int64 `json:"ring_permille"`
 	// Totals sums every cluster_ routing counter across reachable
 	// members (cluster_degraded_total is the fleet's degraded total).
-	Totals  map[string]int64 `json:"totals"`
-	Members []MemberStatus   `json:"members"`
+	Totals map[string]int64 `json:"totals"`
+	// Alerts aggregates the members' health verdicts: counts of firing
+	// and pending rules fleet-wide, plus the sorted set of rule names
+	// firing anywhere. Per-member detail lives on each MemberStatus.
+	Alerts  AlertSummary   `json:"alerts"`
+	Members []MemberStatus `json:"members"`
+}
+
+// AlertSummary is the cluster-wide roll-up of member alert state.
+type AlertSummary struct {
+	Firing  int `json:"firing"`
+	Pending int `json:"pending"`
+	// FiringRules lists rule names firing on at least one member,
+	// sorted and deduplicated.
+	FiringRules []string `json:"firing_rules,omitempty"`
 }
 
 // MemberStatus is one member's slice of the snapshot.
@@ -64,6 +79,10 @@ type MemberStatus struct {
 	Counters map[string]int64 `json:"counters,omitempty"`
 	// Routes summarizes per-endpoint latency (count, p50, p99).
 	Routes []RouteLatency `json:"routes,omitempty"`
+	// Alerts is the member's own health verdict, exactly as its
+	// /v1/health/alerts endpoint serves it (rules sorted by name, so
+	// the nested document keeps the snapshot's byte identity).
+	Alerts *health.AlertsDoc `json:"alerts,omitempty"`
 }
 
 // RouteLatency is one endpoint's latency summary on one member.
@@ -108,6 +127,7 @@ func (n *Node) clusterStatus(ctx context.Context) ClusterStatus {
 		Totals:       make(map[string]int64),
 		Members:      members,
 	}
+	firing := make(map[string]bool)
 	for _, m := range members {
 		if !m.Healthy {
 			st.Partial = true
@@ -118,7 +138,20 @@ func (n *Node) clusterStatus(ctx context.Context) ClusterStatus {
 				st.Totals[k] += v
 			}
 		}
+		if m.Alerts != nil {
+			st.Alerts.Firing += m.Alerts.Firing
+			st.Alerts.Pending += m.Alerts.Pending
+			for _, a := range m.Alerts.Alerts {
+				if a.State == "firing" {
+					firing[a.Rule] = true
+				}
+			}
+		}
 	}
+	for rule := range firing {
+		st.Alerts.FiringRules = append(st.Alerts.FiringRules, rule)
+	}
+	sort.Strings(st.Alerts.FiringRules)
 	return st
 }
 
@@ -143,9 +176,20 @@ func (n *Node) probeMember(ctx context.Context, name, base string) MemberStatus 
 		ms.Error = "bad metrics"
 		return ms
 	}
+	alerts, err := n.probeGet(ctx, base+health.AlertsPath)
+	if err != nil {
+		ms.Error = "unreachable"
+		return ms
+	}
+	var doc health.AlertsDoc
+	if err := json.Unmarshal(alerts, &doc); err != nil || doc.Schema != health.Schema {
+		ms.Error = "bad alerts"
+		return ms
+	}
 	ms.Healthy = true
 	ms.Counters = counters
 	ms.Routes = routes
+	ms.Alerts = &doc
 	return ms
 }
 
@@ -187,7 +231,11 @@ func parseMetricsSnapshot(data []byte) (map[string]int64, []RouteLatency, error)
 		}
 		if strings.HasPrefix(line, "process_") ||
 			strings.Contains(line, `endpoint="healthz"`) ||
-			strings.Contains(line, `endpoint="readyz"`) {
+			strings.Contains(line, `endpoint="readyz"`) ||
+			strings.Contains(line, `endpoint="health.alerts"`) {
+			// health.alerts joins healthz/readyz in the excluded set: the
+			// status fan-out's own alert probes perturb its request and
+			// latency series, which would break cross-node byte identity.
 			continue
 		}
 		series, value, ok := strings.Cut(line, " ")

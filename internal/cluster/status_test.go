@@ -136,10 +136,27 @@ func TestClusterStatusByteIdentical(t *testing.T) {
 			}
 		}
 		for k := range m.Counters {
-			if strings.HasPrefix(k, "process_") || strings.Contains(k, `endpoint="healthz"`) {
+			if strings.HasPrefix(k, "process_") || strings.Contains(k, `endpoint="healthz"`) ||
+				strings.Contains(k, `endpoint="health.alerts"`) {
 				t.Fatalf("excluded series %q leaked into the snapshot", k)
 			}
 		}
+		// Every member federates its alert verdict: the full default rule
+		// set, sorted, all inactive on an unticked healthy cluster.
+		if m.Alerts == nil {
+			t.Fatalf("member %s carries no alert verdict", m.Name)
+		}
+		if m.Alerts.Schema != "capest/health-alerts/v1" || len(m.Alerts.Alerts) == 0 {
+			t.Fatalf("member %s alert doc: %+v", m.Name, m.Alerts)
+		}
+		for _, a := range m.Alerts.Alerts {
+			if a.State != "inactive" {
+				t.Fatalf("member %s rule %s state %q on a healthy cluster", m.Name, a.Rule, a.State)
+			}
+		}
+	}
+	if st.Alerts.Firing != 0 || st.Alerts.Pending != 0 || len(st.Alerts.FiringRules) != 0 {
+		t.Fatalf("healthy cluster rolls up alerts %+v", st.Alerts)
 	}
 }
 

@@ -1,0 +1,136 @@
+package health
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// BenchSchema identifies the committed BENCH_alerts.json artifact.
+const BenchSchema = "capest/bench-alerts/v1"
+
+// BenchResult is the health-engine benchmark artifact: rule-evaluation
+// throughput over a synthetic snapshot stream plus the retained ring's
+// memory estimate. Wall-clock figures vary run to run (they are
+// measurements, not part of the determinism contract — exactly like
+// the other BENCH_*.json files); the structural fields are what
+// bench-smoke gates on.
+type BenchResult struct {
+	Schema string `json:"schema"`
+	Go     string `json:"go"`
+	// Rules, Series and Ticks are the synthetic workload's dimensions.
+	Rules  int `json:"rules"`
+	Series int `json:"series"`
+	Ticks  int `json:"ticks"`
+	// Transitions is how many alert transitions the stream caused (a
+	// sanity witness that rules actually evaluated and moved).
+	Transitions int     `json:"transitions"`
+	WallMS      float64 `json:"wall_ms"`
+	// EvalsPerSec is rule-evaluations per second (rules × ticks / wall).
+	EvalsPerSec float64 `json:"evals_per_sec"`
+	TicksPerSec float64 `json:"ticks_per_sec"`
+	// RingSnapshots and RingBytes describe the retained ring at the end
+	// of the run (RingBytes is the deterministic arithmetic estimate).
+	RingSnapshots int   `json:"ring_snapshots"`
+	RingBytes     int64 `json:"ring_bytes"`
+	Passed        bool  `json:"passed"`
+}
+
+// RunBench evaluates `rules` rate rules over `series` synthetic
+// counters for `ticks` ticks on a retention-128 ring and measures
+// throughput. The counter trajectories are deterministic (value =
+// tick × stride per series, with a mid-run plateau so rules resolve as
+// well as fire); only the timing figures vary.
+func RunBench(rules, series, ticks int) (BenchResult, error) {
+	if rules < 1 || series < 1 || ticks < 2 {
+		return BenchResult{}, fmt.Errorf("health bench: need rules>=1 series>=1 ticks>=2")
+	}
+	names := make([]string, series)
+	for i := range names {
+		names[i] = fmt.Sprintf("bench_series_%d_total", i)
+	}
+	text := ""
+	for i := 0; i < rules; i++ {
+		// Spread rules across the series and windows; thresholds sit
+		// where the synthetic stream crosses them.
+		text += fmt.Sprintf("rule r%04d: rate(%s) > %d over %ds for 2 clear %d\n",
+			i, names[i%series], 5+i%7, 10+10*(i%4), 2+i%3)
+	}
+	parsed, err := ParseRules(text)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	e, err := NewEngine(Config{Rules: parsed, Retention: 128, TickInterval: time.Second})
+	if err != nil {
+		return BenchResult{}, err
+	}
+
+	transitions := 0
+	start := time.Now()
+	for tick := 0; tick < ticks; tick++ {
+		var data obs.RegistrySnapshot
+		data.Series = make([]obs.SeriesSample, series)
+		for i := range names {
+			// Ramp fast, plateau, ramp again: crossings both ways.
+			v := int64(tick) * int64(3+i%13)
+			if tick%50 >= 25 {
+				v = int64(tick/50*50) * int64(3+i%13)
+			}
+			data.Series[i] = obs.SeriesSample{Name: names[i], Kind: "counter", Value: v}
+		}
+		transitions += len(e.Tick(data))
+	}
+	wall := time.Since(start)
+
+	r := BenchResult{
+		Schema:        BenchSchema,
+		Go:            runtime.Version(),
+		Rules:         rules,
+		Series:        series,
+		Ticks:         ticks,
+		Transitions:   transitions,
+		WallMS:        float64(wall) / float64(time.Millisecond),
+		RingSnapshots: e.Ring().Len(),
+		RingBytes:     e.Ring().MemoryBytes(),
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		r.EvalsPerSec = float64(rules*ticks) / secs
+		r.TicksPerSec = float64(ticks) / secs
+	}
+	r.Passed = r.Transitions > 0 && r.RingBytes > 0 && r.EvalsPerSec > 0
+	return r, nil
+}
+
+// CheckBench validates a committed BENCH_alerts.json: schema, sane
+// workload dimensions, positive throughput and ring figures, and the
+// run's own pass verdict. It gates shape and plausibility, not exact
+// numbers — timings differ across machines.
+func CheckBench(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var r BenchResult
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	switch {
+	case r.Schema != BenchSchema:
+		return fmt.Errorf("%s: schema %q, want %q", path, r.Schema, BenchSchema)
+	case r.Rules < 100 || r.Series < 10 || r.Ticks < 100:
+		return fmt.Errorf("%s: workload too small (rules=%d series=%d ticks=%d)", path, r.Rules, r.Series, r.Ticks)
+	case r.Transitions <= 0:
+		return fmt.Errorf("%s: no transitions — the bench stream never moved a rule", path)
+	case r.EvalsPerSec <= 0 || r.TicksPerSec <= 0 || r.WallMS <= 0:
+		return fmt.Errorf("%s: non-positive throughput", path)
+	case r.RingSnapshots <= 0 || r.RingBytes <= 0:
+		return fmt.Errorf("%s: empty ring", path)
+	case !r.Passed:
+		return fmt.Errorf("%s: recorded run did not pass", path)
+	}
+	return nil
+}

@@ -1,0 +1,305 @@
+package health
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// tickSeries feeds the engine a sequence of counter values for one
+// series, one snapshot per element, and returns all transitions.
+func tickSeries(t *testing.T, rules string, values []map[string]int64) (*Engine, []Transition) {
+	t.Helper()
+	parsed, err := ParseRules(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(Config{Rules: parsed, Retention: 32, TickInterval: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []Transition
+	for _, vs := range values {
+		all = append(all, e.Tick(snap(vs))...)
+	}
+	return e, all
+}
+
+func TestEngineFireAndResolve(t *testing.T) {
+	// rate over 1 tick at 1s/tick: the per-tick delta is the rate.
+	_, trs := tickSeries(t,
+		`rule hot: rate(c_total) > 5 over 1s for 2 clear 2 clearfor 2`,
+		[]map[string]int64{
+			{"c_total": 0},  // tick 0: single snapshot, unknown
+			{"c_total": 1},  // tick 1: rate 1, inactive
+			{"c_total": 11}, // tick 2: rate 10, breach 1 -> pending
+			{"c_total": 21}, // tick 3: rate 10, breach 2 -> firing
+			{"c_total": 31}, // tick 4: still firing
+			{"c_total": 35}, // tick 5: rate 4 — inside the hysteresis band, holds firing
+			{"c_total": 36}, // tick 6: rate 1, safe 1
+			{"c_total": 37}, // tick 7: rate 1, safe 2 -> resolved
+		})
+	want := []Transition{
+		{Tick: 2, Rule: "hot", From: "inactive", To: "pending", Value: "10"},
+		{Tick: 3, Rule: "hot", From: "pending", To: "firing", Value: "10"},
+		{Tick: 7, Rule: "hot", From: "firing", To: "inactive", Value: "1"},
+	}
+	if !reflect.DeepEqual(trs, want) {
+		t.Errorf("transitions:\n%+v\nwant:\n%+v", trs, want)
+	}
+}
+
+func TestEngineEmptyRingAndSingleSnapshot(t *testing.T) {
+	e, trs := tickSeries(t,
+		`rule r: rate(c_total) > 0 over 1s`,
+		[]map[string]int64{{"c_total": 100}})
+	// One snapshot: no rate is defined, so no transition — and the
+	// alerts doc reports the rule inactive with no value.
+	if len(trs) != 0 {
+		t.Fatalf("transitions on a single snapshot: %+v", trs)
+	}
+	doc := e.Alerts()
+	if doc.Alerts[0].State != "inactive" || doc.Alerts[0].Value != "" {
+		t.Errorf("alert: %+v", doc.Alerts[0])
+	}
+	if doc.Firing != 0 || doc.Pending != 0 {
+		t.Errorf("counts: %+v", doc)
+	}
+}
+
+// TestEngineCounterReset is the restart case the acceptance criteria
+// call out: a capserverd restart zeroes its counters, and the
+// monotonic decrease must not fire a rate or increase rule.
+func TestEngineCounterReset(t *testing.T) {
+	_, trs := tickSeries(t,
+		`rule r: rate(c_total) > 5 over 3s`,
+		[]map[string]int64{
+			{"c_total": 1000},
+			{"c_total": 1003},
+			{"c_total": 2}, // restart: naive delta is -1001, naive |delta| is huge
+			{"c_total": 5},
+			{"c_total": 8},
+		})
+	if len(trs) != 0 {
+		t.Errorf("spurious transitions across a counter reset: %+v", trs)
+	}
+}
+
+// TestEngineSeriesVanishes: a rule over a series that disappears from
+// snapshots (member died, family gone) holds its state — firing stays
+// firing, nothing resolves on missing data.
+func TestEngineSeriesVanishes(t *testing.T) {
+	e, trs := tickSeries(t,
+		`rule r: value(g) > 5 clear 3`,
+		[]map[string]int64{
+			{"g": 10}, // breach -> firing (for defaults to 1)
+			{},        // series gone: unknown, holds firing
+			{},
+			{"g": 1}, // back and safe -> resolved
+		})
+	want := []Transition{
+		{Tick: 0, Rule: "r", From: "inactive", To: "firing", Value: "10"},
+		{Tick: 3, Rule: "r", From: "firing", To: "inactive", Value: "1"},
+	}
+	if !reflect.DeepEqual(trs, want) {
+		t.Errorf("transitions:\n%+v\nwant:\n%+v", trs, want)
+	}
+	if got := e.Firing(); got != 0 {
+		t.Errorf("firing = %d", got)
+	}
+}
+
+// TestEngineHysteresisRearm: after resolving, a fresh breach must walk
+// the full pending -> firing ladder again (streaks fully re-arm).
+func TestEngineHysteresisRearm(t *testing.T) {
+	_, trs := tickSeries(t,
+		`rule r: value(g) > 5 for 2 clear 2`,
+		[]map[string]int64{
+			{"g": 10}, // breach 1 -> pending
+			{"g": 10}, // breach 2 -> firing
+			{"g": 1},  // safe -> resolved (clearfor 1)
+			{"g": 10}, // breach 1 -> pending again, NOT straight to firing
+			{"g": 1},  // pending -> inactive (breach streak broken)
+			{"g": 10}, // pending again
+			{"g": 10}, // firing again
+		})
+	want := []Transition{
+		{Tick: 0, Rule: "r", From: "inactive", To: "pending", Value: "10"},
+		{Tick: 1, Rule: "r", From: "pending", To: "firing", Value: "10"},
+		{Tick: 2, Rule: "r", From: "firing", To: "inactive", Value: "1"},
+		{Tick: 3, Rule: "r", From: "inactive", To: "pending", Value: "10"},
+		{Tick: 4, Rule: "r", From: "pending", To: "inactive", Value: "1"},
+		{Tick: 5, Rule: "r", From: "inactive", To: "pending", Value: "10"},
+		{Tick: 6, Rule: "r", From: "pending", To: "firing", Value: "10"},
+	}
+	if !reflect.DeepEqual(trs, want) {
+		t.Errorf("transitions:\n%+v\nwant:\n%+v", trs, want)
+	}
+}
+
+// TestEngineUnknownResetsStreaks: a gap in the data mid-streak means
+// the k consecutive breaches start over.
+func TestEngineUnknownResetsStreaks(t *testing.T) {
+	_, trs := tickSeries(t,
+		`rule r: value(g) > 5 for 3`,
+		[]map[string]int64{
+			{"g": 10}, // breach 1 -> pending
+			{"g": 10}, // breach 2
+			{},        // unknown: streak resets, state holds (pending)
+			{"g": 10}, // breach 1
+			{"g": 10}, // breach 2
+			{"g": 10}, // breach 3 -> firing
+		})
+	want := []Transition{
+		{Tick: 0, Rule: "r", From: "inactive", To: "pending", Value: "10"},
+		{Tick: 5, Rule: "r", From: "pending", To: "firing", Value: "10"},
+	}
+	if !reflect.DeepEqual(trs, want) {
+		t.Errorf("transitions:\n%+v\nwant:\n%+v", trs, want)
+	}
+}
+
+// TestEngineMultiWindowBurnRate: with `over 1s,4s` both windows must
+// breach — a short spike that clears the 1-tick window but not the
+// longer one does not fire.
+func TestEngineMultiWindowBurnRate(t *testing.T) {
+	_, trs := tickSeries(t,
+		`rule r: rate(c_total) > 5 over 1s,4s`,
+		[]map[string]int64{
+			{"c_total": 0},
+			{"c_total": 10}, // 1s rate 10 breaches; 4s window = same single step, 10 -> fires
+			{"c_total": 11}, // 1s rate 1: short window clears -> resolves
+			{"c_total": 21}, // 1s rate 10; 4s rate 21/3=7 -> both breach -> fires
+		})
+	want := []Transition{
+		{Tick: 1, Rule: "r", From: "inactive", To: "firing", Value: "10"},
+		{Tick: 2, Rule: "r", From: "firing", To: "inactive", Value: "1"},
+		{Tick: 3, Rule: "r", From: "inactive", To: "firing", Value: "10"},
+	}
+	if !reflect.DeepEqual(trs, want) {
+		t.Errorf("transitions:\n%+v\nwant:\n%+v", trs, want)
+	}
+}
+
+// TestEngineDeterministic: the same snapshot sequence yields a
+// byte-identical transition log and alerts document, independent of
+// how many times it is replayed.
+func TestEngineDeterministic(t *testing.T) {
+	run := func() (string, AlertsDoc) {
+		parsed, _ := ParseRules(
+			"rule a: rate(c_total) > 2 over 2s for 2 clear 1\nrule b: value(g) >= 7")
+		e, err := NewEngine(Config{Rules: parsed, Retention: 16, TickInterval: time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []Transition
+		vals := []map[string]int64{
+			{"c_total": 0, "g": 1}, {"c_total": 9, "g": 7}, {"c_total": 18, "g": 7},
+			{"c_total": 19, "g": 2}, {"c_total": 20, "g": 2}, {"c_total": 40, "g": 9},
+		}
+		for _, vs := range vals {
+			all = append(all, e.Tick(snap(vs))...)
+		}
+		var b strings.Builder
+		FormatTransitions(&b, all)
+		return b.String(), e.Alerts()
+	}
+	log1, doc1 := run()
+	log2, doc2 := run()
+	if log1 != log2 {
+		t.Errorf("transition logs differ:\n%s\nvs\n%s", log1, log2)
+	}
+	if !reflect.DeepEqual(doc1, doc2) {
+		t.Errorf("alert docs differ:\n%+v\nvs\n%+v", doc1, doc2)
+	}
+	if log1 == "" {
+		t.Error("scenario produced no transitions (vacuous)")
+	}
+}
+
+func TestEngineStateGaugeAndAlertOrder(t *testing.T) {
+	reg := obs.NewRegistry()
+	gauge := reg.GaugeVec("capserver_alert_state", "rule")
+	parsed, _ := ParseRules("rule zz: value(g) > 5\nrule aa: value(g) > 100 for 2")
+	e, err := NewEngine(Config{Rules: parsed, StateGauge: gauge, TickInterval: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Tick(snap(map[string]int64{"g": 200}))
+	doc := e.Alerts()
+	// Sorted by rule name, not rule order.
+	if doc.Alerts[0].Rule != "aa" || doc.Alerts[1].Rule != "zz" {
+		t.Errorf("order: %+v", doc.Alerts)
+	}
+	if doc.Alerts[0].State != "pending" || doc.Alerts[1].State != "firing" {
+		t.Errorf("states: %+v", doc.Alerts)
+	}
+	if doc.Firing != 1 || doc.Pending != 1 {
+		t.Errorf("counts: firing=%d pending=%d", doc.Firing, doc.Pending)
+	}
+	var b strings.Builder
+	reg.WriteProm(&b)
+	got := b.String()
+	for _, line := range []string{
+		`capserver_alert_state{rule="aa"} 1`,
+		`capserver_alert_state{rule="zz"} 2`,
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Errorf("missing %q in:\n%s", line, got)
+		}
+	}
+}
+
+func TestEngineTransitionLogBounded(t *testing.T) {
+	parsed, _ := ParseRules("rule r: value(g) > 5")
+	e, err := NewEngine(Config{Rules: parsed, MaxTransitions: 4, TickInterval: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		e.Tick(snap(map[string]int64{"g": int64(10 * (i % 2))})) // flip every tick
+	}
+	trs := e.Transitions()
+	if len(trs) != 4 {
+		t.Fatalf("retained %d transitions, want 4", len(trs))
+	}
+	// Ticks 1..9 each flip the state: 9 transitions, 4 retained.
+	if e.Dropped() != 5 {
+		t.Errorf("dropped = %d, want 5", e.Dropped())
+	}
+	if trs[len(trs)-1].Tick != 9 {
+		t.Errorf("newest retained tick = %d", trs[len(trs)-1].Tick)
+	}
+}
+
+func TestEngineWindowExceedsRetention(t *testing.T) {
+	parsed, _ := ParseRules("rule r: rate(c_total) > 1 over 1h")
+	if _, err := NewEngine(Config{Rules: parsed, Retention: 8, TickInterval: time.Second}); err == nil {
+		t.Error("1h window at 1s tick accepted with retention 8")
+	}
+}
+
+// TestEngineRetentionAutoSizes: an unset retention grows to hold the
+// longest rule window — a fast tick must not make the default rule set
+// unconstructable (it panicked capserver.New before this sized itself).
+func TestEngineRetentionAutoSizes(t *testing.T) {
+	rules := MustDefaultRules() // longest window: 5m = 1500 ticks at 200ms
+	e, err := NewEngine(Config{Rules: rules, TickInterval: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("default rules at 200ms tick: %v", err)
+	}
+	if cap := e.Ring().Cap(); cap < 1501 {
+		t.Errorf("auto-sized ring cap = %d, want >= 1501", cap)
+	}
+	// A slow tick keeps the compact default.
+	e, err = NewEngine(Config{Rules: rules, TickInterval: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap := e.Ring().Cap(); cap != 128 {
+		t.Errorf("ring cap at 5s tick = %d, want 128", cap)
+	}
+}

@@ -1,0 +1,180 @@
+package health
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// snap builds a registry snapshot from counter values.
+func snap(series map[string]int64) obs.RegistrySnapshot {
+	var s obs.RegistrySnapshot
+	for name, v := range series {
+		s.Series = append(s.Series, obs.SeriesSample{Name: name, Kind: "counter", Value: v})
+	}
+	return s
+}
+
+// push appends a snapshot at the next tick.
+func push(r *Ring, tick int64, series map[string]int64) {
+	r.Push(NewSnapshot(tick, snap(series)))
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRing(3)
+	if _, ok := r.Latest(); ok {
+		t.Fatal("empty ring reported a latest snapshot")
+	}
+	for i := int64(0); i < 5; i++ {
+		push(r, i, map[string]int64{"c": i})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3", r.Len())
+	}
+	latest, _ := r.Latest()
+	if latest.Tick != 4 {
+		t.Errorf("latest tick = %d, want 4", latest.Tick)
+	}
+	oldest, _ := r.Back(2)
+	if oldest.Tick != 2 {
+		t.Errorf("oldest tick = %d, want 2 (oldest not evicted)", oldest.Tick)
+	}
+	if _, ok := r.Back(3); ok {
+		t.Error("Back(3) succeeded past retention")
+	}
+}
+
+func TestRingIncreaseCounterReset(t *testing.T) {
+	r := NewRing(8)
+	// 10 → 14 → restart (2) → 5: the true served increase is 4+2+3 = 9
+	// if the post-restart counter restarts from zero, but the reset
+	// itself must contribute nothing. Sum of positive adjacent deltas:
+	// 4 + 0 + 3 = 7.
+	for i, v := range []int64{10, 14, 2, 5} {
+		push(r, int64(i), map[string]int64{"c": v})
+	}
+	inc, ok := r.Increase("c", 3)
+	if !ok || inc != 7 {
+		t.Errorf("increase = %v/%v, want 7/true", inc, ok)
+	}
+	// A plain latest-minus-oldest would be negative; the monotonic
+	// decrease must never surface as one.
+	if inc < 0 {
+		t.Error("increase went negative across a counter reset")
+	}
+}
+
+func TestRingIncreaseEdges(t *testing.T) {
+	r := NewRing(8)
+	if _, ok := r.Increase("c", 5); ok {
+		t.Error("empty ring evaluated an increase")
+	}
+	push(r, 0, map[string]int64{"c": 10})
+	if _, ok := r.Increase("c", 5); ok {
+		t.Error("single snapshot evaluated an increase (no delta defined)")
+	}
+	push(r, 1, map[string]int64{"c": 12, "late": 3})
+	if inc, ok := r.Increase("c", 5); !ok || inc != 2 {
+		t.Errorf("increase = %v/%v, want 2/true", inc, ok)
+	}
+	// A series absent from older snapshots baselines at first
+	// appearance, not at zero-vs-latest.
+	if inc, ok := r.Increase("late", 5); !ok || inc != 0 {
+		t.Errorf("late-appearing series increase = %v/%v, want 0/true", inc, ok)
+	}
+	// A series absent from the newest snapshot is not evaluable.
+	push(r, 2, map[string]int64{"c": 13})
+	if _, ok := r.Increase("late", 5); ok {
+		t.Error("series missing from newest snapshot evaluated")
+	}
+}
+
+func TestRingRateAndRatio(t *testing.T) {
+	r := NewRing(8)
+	push(r, 0, map[string]int64{"hits": 0, "total": 0})
+	push(r, 1, map[string]int64{"hits": 30, "total": 40})
+	push(r, 2, map[string]int64{"hits": 50, "total": 80})
+	// 2 steps × 5s = 10s span, increase 50.
+	if rate, ok := r.Rate("hits", 2, 5); !ok || rate != 5 {
+		t.Errorf("rate = %v/%v, want 5/true", rate, ok)
+	}
+	if ratio, ok := r.Ratio("hits", "total", 2); !ok || ratio != 50.0/80 {
+		t.Errorf("windowed ratio = %v/%v, want 0.625/true", ratio, ok)
+	}
+	if ratio, ok := r.Ratio("hits", "total", 0); !ok || ratio != 50.0/80 {
+		t.Errorf("latest ratio = %v/%v, want 0.625/true", ratio, ok)
+	}
+	// Zero denominator: unknown, never Inf.
+	push(r, 3, map[string]int64{"hits": 50, "total": 80, "idle": 0})
+	if _, ok := r.Ratio("hits", "idle", 0); ok {
+		t.Error("zero-denominator ratio evaluated")
+	}
+}
+
+// TestRingQuantileMatchesLatencyVec is the property test: the windowed
+// p50/p99 from histogram bucket deltas must agree exactly with
+// LatencyVec.Quantile over the same observations. Two registries — one
+// observing only the window's durations, one carrying prior history —
+// and the windowed query over the second must equal the direct
+// quantile of the first.
+func TestRingQuantileMatchesLatencyVec(t *testing.T) {
+	prior := []time.Duration{time.Millisecond, 20 * time.Second, 90 * time.Second}
+	window := []time.Duration{
+		50 * time.Microsecond, 3 * time.Millisecond, 3 * time.Millisecond,
+		40 * time.Millisecond, 700 * time.Millisecond, 2 * time.Second,
+	}
+
+	ref := obs.NewRegistry()
+	refLV := ref.LatencyVec("lat_ms", "ep")
+	for _, d := range window {
+		refLV.Observe("x", d)
+	}
+
+	full := obs.NewRegistry()
+	lv := full.LatencyVec("lat_ms", "ep")
+	for _, d := range prior {
+		lv.Observe("x", d)
+	}
+	r := NewRing(8)
+	r.Push(NewSnapshot(0, full.Snapshot()))
+	for _, d := range window {
+		lv.Observe("x", d)
+	}
+	r.Push(NewSnapshot(1, full.Snapshot()))
+
+	for _, q := range []float64{0.5, 0.99} {
+		got, ok := r.Quantile(`lat_ms{ep="x"}`, 1, q)
+		if !ok {
+			t.Fatalf("q=%g not evaluable", q)
+		}
+		if want := refLV.Quantile("x", q); got != want {
+			t.Errorf("q=%g: windowed=%g, LatencyVec=%g", q, got, want)
+		}
+	}
+}
+
+func TestRingQuantileEdges(t *testing.T) {
+	reg := obs.NewRegistry()
+	lv := reg.LatencyVec("lat_ms", "ep")
+	lv.Observe("x", time.Millisecond)
+	r := NewRing(8)
+	r.Push(NewSnapshot(0, reg.Snapshot()))
+	if _, ok := r.Quantile(`lat_ms{ep="x"}`, 1, 0.5); ok {
+		t.Error("single snapshot evaluated a windowed quantile")
+	}
+	// No observations in the window: unknown, not 0ms.
+	r.Push(NewSnapshot(1, reg.Snapshot()))
+	if _, ok := r.Quantile(`lat_ms{ep="x"}`, 1, 0.5); ok {
+		t.Error("empty window evaluated a quantile")
+	}
+	// Histogram reset (restart): latest counts stand alone.
+	fresh := obs.NewRegistry()
+	flv := fresh.LatencyVec("lat_ms", "ep")
+	flv.Observe("x", 40*time.Millisecond)
+	r.Push(NewSnapshot(2, fresh.Snapshot()))
+	got, ok := r.Quantile(`lat_ms{ep="x"}`, 2, 0.5)
+	if !ok || got != flv.Quantile("x", 0.5) {
+		t.Errorf("post-reset quantile = %v/%v, want %v", got, ok, flv.Quantile("x", 0.5))
+	}
+}

@@ -48,6 +48,7 @@ type Registry struct {
 	mu       sync.Mutex
 	families []*family
 	byName   map[string]*family
+	help     map[string]string
 }
 
 // family is one named metric with its cells (one per label-value
@@ -73,7 +74,20 @@ type cell struct {
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{byName: make(map[string]*family)}
+	return &Registry{byName: make(map[string]*family), help: make(map[string]string)}
+}
+
+// Help attaches HELP text to a family. Families with help render a
+// `# HELP` / `# TYPE` comment pair before their samples, with the
+// Prometheus text-format escaping for help strings (`\` and newline;
+// quotes are NOT escaped in help text — that rule applies only to label
+// values). Families without help render bare samples, exactly as every
+// pre-existing exposition in this repository does, so attaching help to
+// new families never perturbs golden-tested ones.
+func (r *Registry) Help(name, text string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.help[name] = text
 }
 
 // register adds or retrieves a family, enforcing shape consistency:
@@ -314,8 +328,16 @@ func quantileUpperMS(counts []int, total int, q float64) float64 {
 func (r *Registry) WriteProm(w io.Writer) {
 	r.mu.Lock()
 	families := append([]*family(nil), r.families...)
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
 	r.mu.Unlock()
 	for _, f := range families {
+		if h := help[f.name]; h != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(h))
+			fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind.promType())
+		}
 		switch f.kind {
 		case counterKind, gaugeKind:
 			for _, c := range f.sorted() {
@@ -330,15 +352,22 @@ func (r *Registry) WriteProm(w io.Writer) {
 				c.histMu.Unlock()
 				fmt.Fprintf(w, "%s_count%s %d\n", f.name, labelString(f.labels, c.values), total)
 				for _, q := range []float64{0.5, 0.9, 0.99} {
-					fmt.Fprintf(w, "%s{%s=%q,quantile=\"%g\"} %.4g\n",
-						f.name, f.labels[0], c.values[0], q, quantileUpperMS(counts, total, q))
+					fmt.Fprintf(w, "%s{%s=\"%s\",quantile=\"%g\"} %.4g\n",
+						f.name, f.labels[0], escapeLabelValue(c.values[0]), q, quantileUpperMS(counts, total, q))
 				}
 			}
 		}
 	}
 }
 
-// labelString renders {k1="v1",k2="v2"}, or "" when unlabeled.
+// labelString renders {k1="v1",k2="v2"}, or "" when unlabeled, with
+// the Prometheus text-format escaping for label values. Go's %q is
+// deliberately NOT used here: it escapes tabs, control bytes and
+// non-ASCII runes Go-style (\t, \u2028, ...), which the Prometheus
+// format does not define — a scraper would read the backslash
+// sequences literally. The format's own rule is minimal: exactly
+// backslash, double-quote, and newline are escaped; every other byte
+// (including raw UTF-8) passes through.
 func labelString(labels, values []string) string {
 	if len(labels) == 0 {
 		return ""
@@ -349,8 +378,40 @@ func labelString(labels, values []string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", l, values[i])
+		b.WriteString(l)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
 	return b.String()
+}
+
+// labelEscaper implements the label-value escaping of the Prometheus
+// text format version 0.0.4: `\` -> `\\`, `"` -> `\"`, newline -> `\n`.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// helpEscaper implements HELP-text escaping: only `\` and newline.
+// Double quotes are legal raw in help text and escaping them would
+// change the rendered documentation.
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// escapeLabelValue escapes one label value for exposition.
+func escapeLabelValue(v string) string { return labelEscaper.Replace(v) }
+
+// escapeHelp escapes HELP text for exposition.
+func escapeHelp(v string) string { return helpEscaper.Replace(v) }
+
+// promType maps a family kind onto its # TYPE keyword. Latency
+// families render as count + quantiles, which is the summary shape.
+func (k metricKind) promType() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind, gaugeFuncKind:
+		return "gauge"
+	case latencyKind:
+		return "summary"
+	}
+	return "untyped"
 }

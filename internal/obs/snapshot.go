@@ -1,0 +1,106 @@
+package obs
+
+// Structured registry snapshots (DESIGN.md §14). The Prometheus text
+// exposition is the registry's wire form for scrapers; the health
+// layer's snapshot ring needs the same data as values, not text, on a
+// deterministic tick. Snapshot() is that API: every family flattened
+// into its exposed series names with integer samples, plus the raw
+// bucket counts of every latency histogram (the exposition collapses
+// them into quantiles; windowed quantile queries need the buckets
+// themselves so they can difference two snapshots).
+//
+// Determinism contract: two snapshots of identically-updated registries
+// are deeply equal — families render in registration order, series
+// within a family in sorted label-value order, exactly like WriteProm.
+// Nothing time-dependent enters a snapshot except GaugeFunc families,
+// which by design sample live state (callers that need byte-identical
+// artifacts filter those the same way the cluster status federation
+// filters process_ series).
+
+// SeriesSample is one flattened integer series: a counter, gauge, or
+// gauge-func cell under its fully rendered name (labels included,
+// escaped exactly as the exposition renders them).
+type SeriesSample struct {
+	// Name is the exposed series name, e.g. "cluster_forward_total" or
+	// `capserver_requests_total{endpoint="bounds",code="200"}`.
+	Name string
+	// Kind is "counter", "gauge", or "gaugefunc".
+	Kind string
+	// Value is the sample.
+	Value int64
+}
+
+// HistSample is one latency-histogram cell: the family's single label
+// rendered into the series name plus the raw log10(ms) bucket counts.
+type HistSample struct {
+	// Name is the exposed series name, e.g.
+	// `capserver_latency_ms{endpoint="bounds"}`.
+	Name string
+	// Counts are the per-bucket observation counts (LatencyLogBins
+	// buckets over [LatencyLogMin, LatencyLogMax]).
+	Counts []int
+	// Total is the total observation count.
+	Total int
+}
+
+// RegistrySnapshot is one deterministic point-in-time copy of a
+// registry's samples.
+type RegistrySnapshot struct {
+	Series []SeriesSample
+	Hists  []HistSample
+}
+
+// Snapshot captures every family's current samples. See the package
+// comment above for the determinism contract.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	r.mu.Lock()
+	families := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	var snap RegistrySnapshot
+	for _, f := range families {
+		switch f.kind {
+		case counterKind, gaugeKind:
+			kind := "counter"
+			if f.kind == gaugeKind {
+				kind = "gauge"
+			}
+			for _, c := range f.sorted() {
+				snap.Series = append(snap.Series, SeriesSample{
+					Name:  f.name + labelString(f.labels, c.values),
+					Kind:  kind,
+					Value: c.v.Load(),
+				})
+			}
+		case gaugeFuncKind:
+			snap.Series = append(snap.Series, SeriesSample{
+				Name:  f.name,
+				Kind:  "gaugefunc",
+				Value: f.fn(),
+			})
+		case latencyKind:
+			for _, c := range f.sorted() {
+				c.histMu.Lock()
+				counts, total := c.hist.Counts(), c.hist.Total()
+				c.histMu.Unlock()
+				snap.Hists = append(snap.Hists, HistSample{
+					Name:   f.name + labelString(f.labels, c.values),
+					Counts: counts,
+					Total:  total,
+				})
+			}
+		}
+	}
+	return snap
+}
+
+// QuantileFromCounts computes the q-th latency quantile in milliseconds
+// from raw log10(ms) bucket counts, by exactly the upper-bin-edge rule
+// the exposition and LatencyVec.Quantile use (including the empty /
+// q<=0 / q>=1 edge pinning documented on quantileUpperMS). The health
+// layer computes windowed quantiles by differencing two snapshots'
+// bucket counts and feeding the deltas here, which is what makes a
+// windowed p99 agree bit-for-bit with LatencyVec.Quantile over the same
+// observations.
+func QuantileFromCounts(counts []int, total int, q float64) float64 {
+	return quantileUpperMS(counts, total, q)
+}

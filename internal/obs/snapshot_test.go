@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPromEscaping locks the text-format v0.0.4 escaping rules the
+// exposition audit introduced: label values escape backslash, quote and
+// newline (and nothing else — tabs and non-ASCII pass through raw);
+// HELP text escapes backslash and newline but leaves quotes alone.
+func TestPromEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Help("hostile_total", "line one\nline \\two \"quoted\"")
+	v := r.CounterVec("hostile_total", "path")
+	v.With(`C:\tmp`).Inc()
+	v.With("two\nlines").Inc()
+	v.With(`say "hi"`).Inc()
+	v.With("tab\there é").Inc()
+	var b strings.Builder
+	r.WriteProm(&b)
+	got := b.String()
+	want := strings.Join([]string{
+		`# HELP hostile_total line one\nline \\two "quoted"`,
+		`# TYPE hostile_total counter`,
+		`hostile_total{path="C:\\tmp"} 1`,
+		`hostile_total{path="say \"hi\""} 1`,
+		"hostile_total{path=\"tab\there é\"} 1",
+		`hostile_total{path="two\nlines"} 1`,
+	}, "\n") + "\n"
+	if got != want {
+		t.Errorf("exposition:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestHelpOptIn verifies families without registered help render bare
+// samples — the property that keeps the capserver exposition golden
+// test byte-stable while new families carry documentation.
+func TestHelpOptIn(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("plain_total").Inc()
+	r.Help("doc_total", "documented")
+	r.Counter("doc_total").Add(2)
+	var b strings.Builder
+	r.WriteProm(&b)
+	want := strings.Join([]string{
+		`plain_total 1`,
+		`# HELP doc_total documented`,
+		`# TYPE doc_total counter`,
+		`doc_total 2`,
+	}, "\n") + "\n"
+	if got := b.String(); got != want {
+		t.Errorf("exposition:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestHelpTypeKeywords checks the TYPE line per family kind.
+func TestHelpTypeKeywords(t *testing.T) {
+	r := NewRegistry()
+	r.Help("c_total", "c")
+	r.Help("g", "g")
+	r.Help("gf", "gf")
+	r.Help("lat_ms", "lat")
+	r.Counter("c_total")
+	r.Gauge("g").Set(1)
+	r.GaugeFunc("gf", func() int64 { return 2 })
+	r.LatencyVec("lat_ms", "ep").Observe("x", time.Millisecond)
+	var b strings.Builder
+	r.WriteProm(&b)
+	got := b.String()
+	for _, line := range []string{
+		"# TYPE c_total counter",
+		"# TYPE g gauge",
+		"# TYPE gf gauge",
+		"# TYPE lat_ms summary",
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Errorf("missing %q in:\n%s", line, got)
+		}
+	}
+}
+
+// TestSnapshotDeterministic: two identically-updated registries
+// snapshot deeply equal regardless of cell-creation order, with series
+// names rendered exactly as the exposition renders them.
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func(order []string) RegistrySnapshot {
+		r := NewRegistry()
+		reqs := r.CounterVec("requests_total", "endpoint", "code")
+		lv := r.LatencyVec("lat_ms", "endpoint")
+		r.GaugeFunc("depth", func() int64 { return 7 })
+		g := r.Gauge("inflight")
+		for _, ep := range order {
+			reqs.With(ep, "200").Inc()
+			lv.Observe(ep, 3*time.Millisecond)
+		}
+		g.Set(5)
+		return r.Snapshot()
+	}
+	a := build([]string{"b", "a", "c"})
+	b := build([]string{"c", "b", "a"})
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("snapshot depends on creation order:\n%+v\nvs\n%+v", a, b)
+	}
+	wantSeries := []SeriesSample{
+		{Name: `requests_total{endpoint="a",code="200"}`, Kind: "counter", Value: 1},
+		{Name: `requests_total{endpoint="b",code="200"}`, Kind: "counter", Value: 1},
+		{Name: `requests_total{endpoint="c",code="200"}`, Kind: "counter", Value: 1},
+		{Name: "depth", Kind: "gaugefunc", Value: 7},
+		{Name: "inflight", Kind: "gauge", Value: 5},
+	}
+	if !reflect.DeepEqual(a.Series, wantSeries) {
+		t.Errorf("series:\n%+v\nwant:\n%+v", a.Series, wantSeries)
+	}
+	if len(a.Hists) != 3 || a.Hists[0].Name != `lat_ms{endpoint="a"}` || a.Hists[0].Total != 1 {
+		t.Errorf("hists: %+v", a.Hists)
+	}
+}
+
+// TestSnapshotIsolation: mutating the registry after Snapshot must not
+// alter the snapshot's histogram counts (the ring retains snapshots
+// across ticks, so they must be copies, not views).
+func TestSnapshotIsolation(t *testing.T) {
+	r := NewRegistry()
+	lv := r.LatencyVec("lat_ms", "ep")
+	lv.Observe("x", time.Millisecond)
+	snap := r.Snapshot()
+	before := append([]int(nil), snap.Hists[0].Counts...)
+	for i := 0; i < 100; i++ {
+		lv.Observe("x", time.Second)
+	}
+	if !reflect.DeepEqual(snap.Hists[0].Counts, before) {
+		t.Error("snapshot histogram counts aliased live histogram")
+	}
+	if snap.Hists[0].Total != 1 {
+		t.Errorf("snapshot total mutated: %d", snap.Hists[0].Total)
+	}
+}
+
+// TestQuantileFromCountsMatchesLatencyVec: the exported bucket-delta
+// quantile is the same code path as LatencyVec.Quantile, so the two
+// must agree exactly on identical observations.
+func TestQuantileFromCountsMatchesLatencyVec(t *testing.T) {
+	r := NewRegistry()
+	lv := r.LatencyVec("lat_ms", "ep")
+	durs := []time.Duration{
+		0, time.Microsecond, 50 * time.Microsecond, time.Millisecond,
+		3 * time.Millisecond, 40 * time.Millisecond, time.Second, 90 * time.Second,
+	}
+	for _, d := range durs {
+		lv.Observe("x", d)
+	}
+	snap := r.Snapshot()
+	for _, q := range []float64{-1, 0, 0.25, 0.5, 0.9, 0.99, 1, 2} {
+		want := lv.Quantile("x", q)
+		got := QuantileFromCounts(snap.Hists[0].Counts, snap.Hists[0].Total, q)
+		if got != want {
+			t.Errorf("q=%g: QuantileFromCounts=%g, LatencyVec.Quantile=%g", q, got, want)
+		}
+	}
+	if got := QuantileFromCounts(make([]int, LatencyLogBins), 0, 0.5); got != 0 {
+		t.Errorf("empty counts quantile = %g, want 0", got)
+	}
+}

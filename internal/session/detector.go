@@ -191,6 +191,24 @@ type Detector struct {
 	drifts     int64
 	lastChange int64
 	recoveries int64
+
+	statPd, statPi, statPs StreamStats
+}
+
+// StreamStats is one CUSUM stream's aggregate accounting, the raw
+// material of a false-alarm estimate: how often the armed stream was
+// fed and how often it fired. On a stationary stream every fire is by
+// definition a false alarm, so fires/armed-uses estimates the
+// per-observation false-alarm rate; under real drift it mixes true
+// detections in and reads as an upper bound.
+type StreamStats struct {
+	// Fires counts change points attributed to this stream (a single
+	// use can fire several streams; each counts its own).
+	Fires int64
+	// ArmedUses counts observations fed while the stream was armed —
+	// the denominator warmup observations are excluded from, since an
+	// unarmed CUSUM cannot fire.
+	ArmedUses int64
 }
 
 // init prepares the detector (cfg must already have defaults applied).
@@ -207,10 +225,20 @@ func (d *Detector) Observe(kind channel.EventKind, use int64) {
 	case channel.EventSubstitute:
 		sub = 1
 	}
-	fired := d.pd.observe(del, d.cfg)
-	fired = d.pi.observe(ins, d.cfg) || fired
+	feed := func(s *cusum, st *StreamStats, x int64) bool {
+		if s.armed {
+			st.ArmedUses++
+		}
+		if !s.observe(x, d.cfg) {
+			return false
+		}
+		st.Fires++
+		return true
+	}
+	fired := feed(&d.pd, &d.statPd, del)
+	fired = feed(&d.pi, &d.statPi, ins) || fired
 	if kind == channel.EventTransmit || kind == channel.EventSubstitute {
-		fired = d.ps.observe(sub, d.cfg) || fired
+		fired = feed(&d.ps, &d.statPs, sub) || fired
 	}
 	if fired {
 		d.drifts++
@@ -256,3 +284,10 @@ func (d *Detector) LastChangeUse() int64 { return d.lastChange }
 
 // Recoveries returns the number of completed post-drift re-baselines.
 func (d *Detector) Recoveries() int64 { return d.recoveries }
+
+// Stats returns the per-stream aggregate accounting in pd, pi, ps
+// order. Unlike the CUSUM state it survives post-drift resets: the
+// totals accumulate over the session's whole life.
+func (d *Detector) Stats() (pd, pi, ps StreamStats) {
+	return d.statPd, d.statPi, d.statPs
+}

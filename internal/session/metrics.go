@@ -21,7 +21,27 @@ type Metrics struct {
 	// Resyncs counts completed post-drift re-baselines.
 	Drifts  *obs.Counter
 	Resyncs *obs.Counter
+	// Limit mirrors the store's MaxSessions cap, so pressure rules can
+	// compute active/limit without knowing the deployment's flags.
+	Limit *obs.Gauge
+	// StreamFires and StreamUses aggregate the detector's per-stream
+	// accounting across all sessions (stream ∈ pd, pi, ps): change
+	// points attributed to the stream, and observations fed while
+	// armed. Their ratio is the measured per-observation alarm rate.
+	StreamFires *obs.CounterVec
+	StreamUses  *obs.CounterVec
+	// FalseAlarmPPM is the all-streams alarm rate in parts per million
+	// (1e6 × fires / armed uses; 0 until anything is armed), and
+	// StreamFalseAlarmPPM the same per stream. On stationary traffic
+	// these estimate the false-alarm rate directly — the quantity the
+	// 2% budget rules watch; under genuine drift they count true
+	// detections too and read as an upper bound.
+	FalseAlarmPPM       *obs.Gauge
+	StreamFalseAlarmPPM *obs.GaugeVec
 }
+
+// streams are the detector's stream labels in registration order.
+var streams = []string{"pd", "pi", "ps"}
 
 // NewMetrics registers the session families on reg (nil: a private
 // registry, for tests).
@@ -29,15 +49,55 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	return &Metrics{
-		reg:      reg,
-		Active:   reg.Gauge("capserver_sessions_active"),
-		Created:  reg.Counter("capserver_sessions_created_total"),
-		Evicted:  reg.Counter("capserver_sessions_evicted_total"),
-		Events:   reg.Counter("capserver_session_events_total"),
-		Rejected: reg.Counter("capserver_session_rejected_total"),
-		Drifts:   reg.Counter("capserver_session_drift_total"),
-		Resyncs:  reg.Counter("capserver_session_resync_total"),
+	m := &Metrics{
+		reg:                 reg,
+		Active:              reg.Gauge("capserver_sessions_active"),
+		Created:             reg.Counter("capserver_sessions_created_total"),
+		Evicted:             reg.Counter("capserver_sessions_evicted_total"),
+		Events:              reg.Counter("capserver_session_events_total"),
+		Rejected:            reg.Counter("capserver_session_rejected_total"),
+		Drifts:              reg.Counter("capserver_session_drift_total"),
+		Resyncs:             reg.Counter("capserver_session_resync_total"),
+		Limit:               reg.Gauge("capserver_sessions_limit"),
+		StreamFires:         reg.CounterVec("capserver_session_stream_fires_total", "stream"),
+		StreamUses:          reg.CounterVec("capserver_session_stream_uses_total", "stream"),
+		FalseAlarmPPM:       reg.Gauge("capserver_session_false_alarm_ppm"),
+		StreamFalseAlarmPPM: reg.GaugeVec("capserver_session_stream_false_alarm_ppm", "stream"),
+	}
+	reg.Help("capserver_session_stream_fires_total",
+		"Change points attributed to each detector stream, summed over all sessions.")
+	reg.Help("capserver_session_stream_uses_total",
+		"Observations fed to each detector stream while armed, summed over all sessions.")
+	reg.Help("capserver_session_false_alarm_ppm",
+		"All-streams alarm rate in parts per million (fires per armed observation).")
+	reg.Help("capserver_session_stream_false_alarm_ppm",
+		"Per-stream alarm rate in parts per million (fires per armed observation).")
+	// Materialize every stream cell at zero: labeled series otherwise
+	// appear only on first increment, and health rules (plus the
+	// exposition-lint test) want the full family present from tick 0.
+	for _, st := range streams {
+		m.StreamFires.With(st).Add(0)
+		m.StreamUses.With(st).Add(0)
+		m.StreamFalseAlarmPPM.With(st).Set(0)
+	}
+	return m
+}
+
+// updateAlarmRates recomputes the ppm gauges from the fires/uses
+// counters. Callers invoke it after bumping the counters; integer ppm
+// is exact at the precision an alert threshold cares about.
+func (m *Metrics) updateAlarmRates() {
+	var fires, uses int64
+	for _, st := range streams {
+		f, u := m.StreamFires.Value(st), m.StreamUses.Value(st)
+		fires += f
+		uses += u
+		if u > 0 {
+			m.StreamFalseAlarmPPM.With(st).Set(f * 1_000_000 / u)
+		}
+	}
+	if uses > 0 {
+		m.FalseAlarmPPM.Set(fires * 1_000_000 / uses)
 	}
 }
 

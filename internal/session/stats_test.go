@@ -1,0 +1,137 @@
+package session
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// TestDetectorStreamStats pins the per-stream accounting: armed uses
+// accrue only after warmup, and a fired change point is attributed to
+// the stream whose CUSUM crossed.
+func TestDetectorStreamStats(t *testing.T) {
+	d := newTestDetector(t)
+	src := rng.New(42)
+	pd, pi, ps := d.Stats()
+	if pd.ArmedUses != 0 || pi.ArmedUses != 0 || ps.ArmedUses != 0 {
+		t.Fatal("armed uses before any observation")
+	}
+	// Warmup (512 by default): no armed uses during it.
+	use := feedRates(d, src, 0, 512, 0.05, 0.05, 0.03)
+	pd, _, _ = d.Stats()
+	if pd.ArmedUses != 0 {
+		t.Fatalf("pd armed uses during warmup: %d", pd.ArmedUses)
+	}
+	use = feedRates(d, src, use, 1488, 0.05, 0.05, 0.03)
+	pd, pi, ps = d.Stats()
+	// 2000 total uses, 512 warmup: the per-use streams saw 1488 armed.
+	if pd.ArmedUses != 1488 || pi.ArmedUses != 1488 {
+		t.Errorf("armed uses pd=%d pi=%d, want 1488", pd.ArmedUses, pi.ArmedUses)
+	}
+	// ps only advances on transmissions, so it saw fewer.
+	if ps.ArmedUses == 0 || ps.ArmedUses >= 1488 {
+		t.Errorf("ps armed uses = %d, want in (0, 1488)", ps.ArmedUses)
+	}
+	if pd.Fires+pi.Fires+ps.Fires != 0 {
+		t.Fatalf("fires on a stationary stream: %+v %+v %+v", pd, pi, ps)
+	}
+	// Shift the deletion rate: the fire lands on the pd stream.
+	feedRates(d, src, use, 2000, 0.30, 0.05, 0.03)
+	pd, pi, ps = d.Stats()
+	if pd.Fires == 0 {
+		t.Error("deletion shift not attributed to the pd stream")
+	}
+	if pi.Fires != 0 || ps.Fires != 0 {
+		t.Errorf("shift attributed to the wrong stream: pi=%d ps=%d", pi.Fires, ps.Fires)
+	}
+	if int64(d.Drifts()) != pd.Fires+pi.Fires+ps.Fires {
+		t.Errorf("drifts %d != summed fires %d", d.Drifts(), pd.Fires+pi.Fires+ps.Fires)
+	}
+}
+
+// TestStoreExportsStreamStats drives drift through the store and
+// checks the aggregate gauge/counter families the health rules consume.
+func TestStoreExportsStreamStats(t *testing.T) {
+	reg := obs.NewRegistry()
+	st, err := NewStore(StoreConfig{Metrics: NewMetrics(reg), MaxSessions: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := st.Metrics()
+	// The stream cells exist at zero before any traffic, so rules and
+	// the exposition see the full families from the start.
+	var b strings.Builder
+	reg.WriteProm(&b)
+	for _, line := range []string{
+		`capserver_sessions_limit 64`,
+		`capserver_session_stream_fires_total{stream="pd"} 0`,
+		`capserver_session_stream_uses_total{stream="ps"} 0`,
+		`capserver_session_stream_false_alarm_ppm{stream="pi"} 0`,
+		`capserver_session_false_alarm_ppm 0`,
+	} {
+		if !strings.Contains(b.String(), line+"\n") {
+			t.Errorf("missing %q in pre-traffic exposition", line)
+		}
+	}
+
+	// One clean stream, one drifting stream, ingested in batches.
+	src := rng.New(9)
+	gen := func(n int, start int64, pdRate float64) []Event {
+		events := make([]Event, 0, n)
+		use := start
+		for i := 0; i < n; i++ {
+			use++
+			kind := channel.EventTransmit
+			if src.Bool(pdRate) {
+				kind = channel.EventDelete
+			}
+			events = append(events, Event{Use: use, Kind: kind})
+		}
+		return events
+	}
+	if _, _, err := st.IngestEvents("clean", gen(3000, 0, 0.05)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.IngestEvents("drifty", gen(1500, 0, 0.05)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.IngestEvents("drifty", gen(2500, 1500, 0.45)); err != nil {
+		t.Fatal(err)
+	}
+
+	if m.StreamUses.Value("pd") == 0 || m.StreamUses.Value("pi") == 0 {
+		t.Error("armed uses not aggregated")
+	}
+	if m.StreamFires.Value("pd") == 0 {
+		t.Error("pd drift not aggregated into stream fires")
+	}
+	if m.Drifts.Value() == 0 {
+		t.Fatal("no drift detected — scenario broken")
+	}
+	// The ppm gauges reflect fires/uses.
+	wantPPM := m.StreamFires.Value("pd") * 1_000_000 / m.StreamUses.Value("pd")
+	b.Reset()
+	reg.WriteProm(&b)
+	got := b.String()
+	if !strings.Contains(got, `capserver_session_stream_false_alarm_ppm{stream="pd"} `+itoa(wantPPM)+"\n") {
+		t.Errorf("pd ppm gauge missing/wrong (want %d):\n%s", wantPPM, got)
+	}
+}
+
+// itoa avoids importing strconv for one call site.
+func itoa(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

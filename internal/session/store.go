@@ -107,6 +107,7 @@ func NewStore(cfg StoreConfig) (*Store, error) {
 	for i := range s.shards {
 		s.shards[i].m = make(map[string]*entry)
 	}
+	cfg.Metrics.Limit.Set(int64(cfg.MaxSessions))
 	return s, nil
 }
 
@@ -196,6 +197,7 @@ func (s *Store) IngestEvents(id string, events []Event) (int, Snapshot, error) {
 	}
 	det := e.sess.Detector()
 	drifts, recoveries := det.Drifts(), det.Recoveries()
+	pd0, pi0, ps0 := det.Stats()
 	for _, ev := range events {
 		// Cannot fail: the batch is intra-ordered and starts above the
 		// cursor, both checked above.
@@ -209,6 +211,19 @@ func (s *Store) IngestEvents(id string, events []Event) (int, Snapshot, error) {
 	m.Events.Add(int64(len(events)))
 	m.Drifts.Add(det.Drifts() - drifts)
 	m.Resyncs.Add(det.Recoveries() - recoveries)
+	pd1, pi1, ps1 := det.Stats()
+	for _, d := range []struct {
+		stream    string
+		pre, post StreamStats
+	}{{"pd", pd0, pd1}, {"pi", pi0, pi1}, {"ps", ps0, ps1}} {
+		if n := d.post.Fires - d.pre.Fires; n > 0 {
+			m.StreamFires.With(d.stream).Add(n)
+		}
+		if n := d.post.ArmedUses - d.pre.ArmedUses; n > 0 {
+			m.StreamUses.With(d.stream).Add(n)
+		}
+	}
+	m.updateAlarmRates()
 	return len(events), e.sess.Snapshot(), nil
 }
 
